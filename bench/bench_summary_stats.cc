@@ -1,0 +1,72 @@
+// E1 — Fig. 4.13: document and summary statistics across data sets.
+// Reports serialized size, element count N, summary size |S| and the
+// strong/one-to-one edge counts n_s (n_1); then times summary construction
+// with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "summary/path_summary.h"
+#include "workload/dataset_gen.h"
+#include "workload/dblp.h"
+#include "workload/xmark.h"
+
+namespace uload {
+namespace {
+
+void Row(const char* name, Document doc) {
+  PathSummary s = PathSummary::Build(&doc);
+  std::printf("%-14s %10.2f MB %10lld %6lld %8lld (%lld)\n", name,
+              doc.SerializedSize() / 1048576.0,
+              static_cast<long long>(doc.element_count()),
+              static_cast<long long>(s.size()),
+              static_cast<long long>(s.strong_edge_count()),
+              static_cast<long long>(s.one_to_one_edge_count()));
+}
+
+void PrintTable() {
+  bench::Header("Fig. 4.13 — documents and their summaries");
+  std::printf("%-14s %13s %10s %6s %14s\n", "Doc", "Size", "N", "|S|",
+              "n_s (n_1)");
+  Row("Shakespeare", GenerateShakespeareLike(8));
+  Row("Nasa", GenerateNasaLike(300));
+  Row("SwissProt", GenerateSwissProtLike(800));
+  Row("XMark-S", GenerateXMark(XMarkScale(0.3)));
+  Row("XMark-M", GenerateXMark(XMarkScale(1.0)));
+  Row("XMark-L", GenerateXMark(XMarkScale(3.0)));
+  Row("DBLP-S", GenerateDblp({1500, 7}));
+  Row("DBLP-L", GenerateDblp({5000, 7}));
+  std::printf(
+      "\nExpected shape (thesis): summaries are small and grow little as\n"
+      "documents grow; strong/one-to-one edges are frequent.\n");
+}
+
+void BM_BuildSummaryXMark(benchmark::State& state) {
+  Document doc = GenerateXMark(XMarkScale(state.range(0) / 10.0));
+  for (auto _ : state) {
+    Document copy = doc;
+    PathSummary s = PathSummary::Build(&copy);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.counters["elements"] = static_cast<double>(doc.element_count());
+}
+BENCHMARK(BM_BuildSummaryXMark)->Arg(2)->Arg(10)->Arg(30);
+
+void BM_BuildSummaryDblp(benchmark::State& state) {
+  Document doc = GenerateDblp({static_cast<int>(state.range(0)), 7});
+  for (auto _ : state) {
+    Document copy = doc;
+    PathSummary s = PathSummary::Build(&copy);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+BENCHMARK(BM_BuildSummaryDblp)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace uload
+
+int main(int argc, char** argv) {
+  uload::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the reproduction benchmarks: wall-clock timing of
+// callables and aligned table printing (the thesis reports tables and
+// curves; we print both the rows and summary statistics).
+#ifndef ULOAD_BENCH_BENCH_UTIL_H_
+#define ULOAD_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace uload::bench {
+
+// Microseconds for one invocation, averaged over `reps` runs.
+template <typename Fn>
+double AvgMicros(int reps, const Fn& fn) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         reps;
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace uload::bench
+
+#endif  // ULOAD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,69 @@
+#include "algebra/relation.h"
+
+#include <algorithm>
+
+namespace uload {
+
+void NestedRelation::Sort() {
+  std::stable_sort(tuples_.begin(), tuples_.end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     return CompareTuples(a, b) < 0;
+                   });
+}
+
+void NestedRelation::Deduplicate() {
+  // Preserve first-occurrence order (list semantics friendly): O(n^2) would
+  // be too slow for large relations, so sort a copy of indices instead.
+  std::vector<size_t> order(tuples_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return CompareTuples(tuples_[a], tuples_[b]) < 0;
+  });
+  std::vector<bool> keep(tuples_.size(), true);
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (CompareTuples(tuples_[order[i - 1]], tuples_[order[i]]) == 0) {
+      // Drop the later occurrence in document order.
+      keep[std::max(order[i - 1], order[i])] = false;
+      // Keep the chain anchored at the earliest occurrence.
+      if (order[i] > order[i - 1]) order[i] = order[i - 1];
+    }
+  }
+  TupleList out;
+  out.reserve(tuples_.size());
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (keep[i]) out.push_back(std::move(tuples_[i]));
+  }
+  tuples_ = std::move(out);
+}
+
+std::string NestedRelation::ToString() const {
+  std::string out = "{" + schema_->ToString() + "}\n";
+  for (const Tuple& t : tuples_) {
+    out += "  " + TupleToString(t) + "\n";
+  }
+  return out;
+}
+
+bool NestedRelation::Equals(const NestedRelation& other) const {
+  if (!schema_->Equals(*other.schema_)) return false;
+  if (tuples_.size() != other.tuples_.size()) return false;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (!TuplesEqual(tuples_[i], other.tuples_[i])) return false;
+  }
+  return true;
+}
+
+bool NestedRelation::EqualsUnordered(const NestedRelation& other) const {
+  if (!schema_->Equals(*other.schema_)) return false;
+  if (tuples_.size() != other.tuples_.size()) return false;
+  NestedRelation a = *this;
+  NestedRelation b = other;
+  a.Sort();
+  b.Sort();
+  for (size_t i = 0; i < a.tuples_.size(); ++i) {
+    if (!TuplesEqual(a.tuples_[i], b.tuples_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace uload

@@ -1,0 +1,53 @@
+// Nested relations: a schema plus a set/bag/list of nested tuples.
+#ifndef ULOAD_ALGEBRA_RELATION_H_
+#define ULOAD_ALGEBRA_RELATION_H_
+
+#include <string>
+
+#include "algebra/schema.h"
+#include "algebra/tuple.h"
+
+namespace uload {
+
+class NestedRelation {
+ public:
+  NestedRelation() : schema_(Schema::Make({})) {}
+  explicit NestedRelation(SchemaPtr schema,
+                          CollectionKind kind = CollectionKind::kList)
+      : schema_(std::move(schema)), kind_(kind) {}
+
+  const Schema& schema() const { return *schema_; }
+  const SchemaPtr& schema_ptr() const { return schema_; }
+  CollectionKind kind() const { return kind_; }
+
+  int64_t size() const { return static_cast<int64_t>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+  const TupleList& tuples() const { return tuples_; }
+  TupleList& mutable_tuples() { return tuples_; }
+  const Tuple& tuple(int64_t i) const { return tuples_[i]; }
+
+  void Add(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  // Stable-sorts tuples by full-tuple comparison.
+  void Sort();
+  // Removes duplicate tuples (sorts first if needed); used by π⁰ and set
+  // semantics.
+  void Deduplicate();
+
+  // Multi-line debug rendering.
+  std::string ToString() const;
+
+  // Deep equality: same schema shape and same tuple sequence.
+  bool Equals(const NestedRelation& other) const;
+  // Equality up to tuple order (bag equality).
+  bool EqualsUnordered(const NestedRelation& other) const;
+
+ private:
+  SchemaPtr schema_;
+  CollectionKind kind_ = CollectionKind::kList;
+  TupleList tuples_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_ALGEBRA_RELATION_H_

@@ -1,0 +1,146 @@
+#include "algebra/xml_template.h"
+
+#include "common/string_util.h"
+
+namespace uload {
+namespace {
+
+// Root-tuple context for absolute value references.
+struct RootCtx {
+  const Schema* schema;
+  const Tuple* tuple;
+};
+
+Status Instantiate(const TemplateNode& node, const Schema& schema,
+                   const Tuple& tuple, const RootCtx& root, std::string* out);
+
+Status InstantiateChildren(const std::vector<TemplateNode>& children,
+                           const Schema& schema, const Tuple& tuple,
+                           const RootCtx& root, std::string* out) {
+  for (const TemplateNode& c : children) {
+    ULOAD_RETURN_NOT_OK(Instantiate(c, schema, tuple, root, out));
+  }
+  return Status::Ok();
+}
+
+Status Instantiate(const TemplateNode& node, const Schema& schema,
+                   const Tuple& tuple, const RootCtx& root,
+                   std::string* out) {
+  switch (node.kind) {
+    case TemplateNode::Kind::kText:
+      *out += XmlEscape(node.text);
+      return Status::Ok();
+    case TemplateNode::Kind::kValueRef: {
+      const Schema& s = node.absolute ? *root.schema : schema;
+      const Tuple& t = node.absolute ? *root.tuple : tuple;
+      ULOAD_ASSIGN_OR_RETURN(AttrPath path, ResolveAttrPath(s, node.attr));
+      std::vector<AtomicValue> atoms;
+      CollectAtomsAt(t, s, path, 0, &atoms);
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (atoms[i].is_null()) continue;
+        if (node.raw) {
+          *out += atoms[i].ToDisplay();  // already serialized markup
+        } else {
+          *out += XmlEscape(atoms[i].ToDisplay());
+        }
+      }
+      return Status::Ok();
+    }
+    case TemplateNode::Kind::kElement:
+    case TemplateNode::Kind::kGroup:
+      break;
+  }
+  bool emit_tags = node.kind == TemplateNode::Kind::kElement;
+  if (!node.iterate.empty()) {
+    ULOAD_ASSIGN_OR_RETURN(AttrPath path,
+                           ResolveAttrPath(schema, node.iterate));
+    const Attribute& attr = AttrAt(schema, path);
+    if (!attr.is_collection) {
+      return Status::TypeError("template iterates over atomic attribute '" +
+                               node.iterate + "'");
+    }
+    if (path.size() != 1) {
+      return Status::NotImplemented(
+          "template iteration path must be a top-level attribute: " +
+          node.iterate);
+    }
+    const Field& field = tuple.fields[path[0]];
+    if (!field.is_collection()) {
+      return Status::TypeError("tuple field for '" + node.iterate +
+                               "' is not a collection");
+    }
+    for (const Tuple& sub : field.collection()) {
+      if (emit_tags) {
+        *out += '<';
+        *out += node.tag;
+        *out += '>';
+      }
+      ULOAD_RETURN_NOT_OK(
+          InstantiateChildren(node.children, *attr.nested, sub, root, out));
+      if (emit_tags) {
+        *out += "</";
+        *out += node.tag;
+        *out += '>';
+      }
+    }
+    return Status::Ok();
+  }
+  if (emit_tags) {
+    *out += '<';
+    *out += node.tag;
+    *out += '>';
+  }
+  ULOAD_RETURN_NOT_OK(
+      InstantiateChildren(node.children, schema, tuple, root, out));
+  if (emit_tags) {
+    *out += "</";
+    *out += node.tag;
+    *out += '>';
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string TemplateNode::ToString() const {
+  switch (kind) {
+    case Kind::kText:
+      return text;
+    case Kind::kValueRef:
+      return "{" + attr + "}";
+    case Kind::kElement: {
+      std::string out = "<" + tag;
+      if (!iterate.empty()) out += " for=\"" + iterate + "\"";
+      out += ">";
+      for (const TemplateNode& c : children) out += c.ToString();
+      out += "</" + tag + ">";
+      return out;
+    }
+    case Kind::kGroup: {
+      std::string out = "{for " + iterate + ":";
+      for (const TemplateNode& c : children) out += c.ToString();
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string XmlTemplate::ToString() const {
+  std::string out;
+  for (const TemplateNode& r : roots) out += r.ToString();
+  return out;
+}
+
+Result<std::string> ApplyTemplate(const XmlTemplate& templ,
+                                  const NestedRelation& input) {
+  std::string out;
+  for (const Tuple& t : input.tuples()) {
+    RootCtx root{&input.schema(), &t};
+    ULOAD_RETURN_NOT_OK(
+        InstantiateChildren(templ.roots, input.schema(), t, root, &out));
+  }
+  return out;
+}
+
+}  // namespace uload

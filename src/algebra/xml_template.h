@@ -1,0 +1,89 @@
+// Tagging templates for the xml construction operator (thesis §1.2.2).
+//
+// A template describes how each (possibly nested) input tuple is serialized
+// into new XML elements: literal element tags wrap value references into the
+// tuple; an element node may iterate over a nested collection, instantiating
+// itself once per nested tuple.
+#ifndef ULOAD_ALGEBRA_XML_TEMPLATE_H_
+#define ULOAD_ALGEBRA_XML_TEMPLATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/relation.h"
+#include "common/status.h"
+
+namespace uload {
+
+struct TemplateNode {
+  enum class Kind { kElement, kValueRef, kText, kGroup };
+
+  Kind kind = Kind::kElement;
+  std::string tag;   // kElement
+  std::string text;  // kText literal content
+  // kValueRef: dotted attribute path relative to the current tuple scope.
+  std::string attr;
+  // kValueRef: emit raw markup (Cont attributes) instead of escaped text.
+  bool raw = false;
+  // kValueRef: resolve against the top-level tuple, not the innermost
+  // iterate scope (outer-variable references inside nested blocks, §3.3.3).
+  bool absolute = false;
+  // kElement/kGroup: when non-empty, a collection attribute (relative to the
+  // current scope); the node is instantiated once per nested tuple, with
+  // the scope switched to that tuple. kGroup emits no tags of its own.
+  std::string iterate;
+  std::vector<TemplateNode> children;
+
+  static TemplateNode Element(std::string tag,
+                              std::vector<TemplateNode> children,
+                              std::string iterate = "") {
+    TemplateNode n;
+    n.kind = Kind::kElement;
+    n.tag = std::move(tag);
+    n.children = std::move(children);
+    n.iterate = std::move(iterate);
+    return n;
+  }
+  static TemplateNode ValueRef(std::string attr, bool raw = false,
+                               bool absolute = false) {
+    TemplateNode n;
+    n.kind = Kind::kValueRef;
+    n.attr = std::move(attr);
+    n.raw = raw;
+    n.absolute = absolute;
+    return n;
+  }
+  static TemplateNode Group(std::vector<TemplateNode> children,
+                            std::string iterate) {
+    TemplateNode n;
+    n.kind = Kind::kGroup;
+    n.children = std::move(children);
+    n.iterate = std::move(iterate);
+    return n;
+  }
+  static TemplateNode Text(std::string text) {
+    TemplateNode n;
+    n.kind = Kind::kText;
+    n.text = std::move(text);
+    return n;
+  }
+
+  std::string ToString() const;
+};
+
+// A template is a forest applied per top-level tuple.
+struct XmlTemplate {
+  std::vector<TemplateNode> roots;
+
+  std::string ToString() const;
+};
+
+// Instantiates `templ` on every tuple of `input`, concatenating the results
+// into one serialized XML string.
+Result<std::string> ApplyTemplate(const XmlTemplate& templ,
+                                  const NestedRelation& input);
+
+}  // namespace uload
+
+#endif  // ULOAD_ALGEBRA_XML_TEMPLATE_H_

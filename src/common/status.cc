@@ -1,0 +1,36 @@
+#include "common/status.h"
+
+namespace uload {
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace uload

@@ -1,0 +1,57 @@
+// Pattern containment under path-summary constraints (thesis §4.4).
+//
+// p ⊆_S q is decided via Prop. 4.4.1: build mod_S(p) and check that each
+// canonical tree's return tuple belongs to q(t_e). The check supports every
+// pattern extension of Chapter 4:
+//  * decorated patterns — value formulas are verified by the multi-variable
+//    implication condition of §4.4.2 (complete for unions of decorated
+//    patterns, not merely per-node implication);
+//  * optional edges — optional-embedding semantics with maximal matching;
+//  * attribute patterns — paired return nodes must store the same
+//    attributes (Prop. 4.4.3);
+//  * nested patterns — nesting-depth and nesting-sequence conditions with
+//    the one-to-one-edge relaxation (Prop. 4.4.4).
+#ifndef ULOAD_CONTAINMENT_CONTAINMENT_H_
+#define ULOAD_CONTAINMENT_CONTAINMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "containment/canonical_model.h"
+#include "summary/path_summary.h"
+#include "xam/xam.h"
+
+namespace uload {
+
+struct ContainmentOptions {
+  // Cap on |mod_S(p)| (worst case is |S|^|p|; real patterns stay tiny).
+  size_t model_limit = 1u << 16;
+  // Check Prop. 4.4.3's attribute-spec condition on paired return nodes.
+  bool check_attributes = true;
+};
+
+struct ContainmentStats {
+  size_t canonical_model_size = 0;
+  size_t embeddings_checked = 0;
+};
+
+// p ⊆_S q.
+Result<bool> IsContained(const Xam& p, const Xam& q,
+                         const PathSummary& summary,
+                         const ContainmentOptions& opts = {},
+                         ContainmentStats* stats = nullptr);
+
+// p ⊆_S q1 ∪ ... ∪ qm (Prop. 4.4.2 / §4.4.2).
+Result<bool> IsContainedInUnion(const Xam& p, const std::vector<const Xam*>& qs,
+                                const PathSummary& summary,
+                                const ContainmentOptions& opts = {},
+                                ContainmentStats* stats = nullptr);
+
+// Two-way containment.
+Result<bool> AreEquivalent(const Xam& p, const Xam& q,
+                           const PathSummary& summary,
+                           const ContainmentOptions& opts = {});
+
+}  // namespace uload
+
+#endif  // ULOAD_CONTAINMENT_CONTAINMENT_H_

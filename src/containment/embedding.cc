@@ -1,0 +1,156 @@
+#include "containment/embedding.h"
+
+#include <algorithm>
+
+namespace uload {
+namespace {
+
+// Candidate summary nodes for a pattern node, given its own constraints.
+bool NodeMatches(const XamNode& pn, const SummaryNode& sn) {
+  if (pn.is_attribute) {
+    if (sn.kind != NodeKind::kAttribute) return false;
+    // Attribute pattern labels carry the '@' prefix, as do summary labels.
+    return pn.tag_value.empty() || sn.label == pn.tag_value;
+  }
+  if (sn.kind != NodeKind::kElement) return false;
+  return pn.is_wildcard() || sn.label == pn.tag_value;
+}
+
+class Enumerator {
+ public:
+  Enumerator(const Xam& p, const PathSummary& s, size_t limit)
+      : p_(p), s_(s), limit_(limit) {
+    order_ = p_.PreOrder();
+    image_.assign(p_.size(), kNoSummaryNode);
+  }
+
+  std::vector<SummaryEmbedding> Run() {
+    image_[kXamRoot] = s_.document_node();
+    Recurse(1);
+    return std::move(found_);
+  }
+
+ private:
+  void Recurse(size_t idx) {
+    if (found_.size() >= limit_) return;
+    if (idx == order_.size()) {
+      found_.push_back(image_);
+      return;
+    }
+    XamNodeId node = order_[idx];
+    const XamNode& pn = p_.node(node);
+    const XamEdge& edge = p_.IncomingEdge(node);
+    SummaryNodeId base = image_[p_.node(node).parent];
+    std::vector<SummaryNodeId> candidates =
+        edge.axis == Axis::kChild
+            ? s_.ChildrenWithLabel(base, pn.tag_value)
+            : s_.Descendants(base, pn.tag_value);
+    for (SummaryNodeId c : candidates) {
+      if (!NodeMatches(pn, s_.node(c))) continue;
+      image_[node] = c;
+      Recurse(idx + 1);
+      if (found_.size() >= limit_) return;
+    }
+    image_[node] = kNoSummaryNode;
+  }
+
+  const Xam& p_;
+  const PathSummary& s_;
+  size_t limit_;
+  std::vector<XamNodeId> order_;
+  SummaryEmbedding image_;
+  std::vector<SummaryEmbedding> found_;
+};
+
+}  // namespace
+
+std::vector<SummaryEmbedding> EmbedIntoSummary(const Xam& p,
+                                               const PathSummary& summary,
+                                               size_t limit) {
+  Enumerator e(p, summary, limit);
+  return e.Run();
+}
+
+std::vector<std::vector<SummaryNodeId>> PathAnnotations(
+    const Xam& p, const PathSummary& summary) {
+  // Initial candidate sets from node constraints.
+  std::vector<std::vector<SummaryNodeId>> cand(p.size());
+  cand[kXamRoot] = {summary.document_node()};
+  for (XamNodeId id = 1; id < p.size(); ++id) {
+    const XamNode& pn = p.node(id);
+    if (!pn.tag_value.empty()) {
+      for (SummaryNodeId s : summary.NodesWithLabel(pn.tag_value)) {
+        if (NodeMatches(pn, summary.node(s))) cand[id].push_back(s);
+      }
+    } else if (pn.is_attribute) {
+      for (SummaryNodeId s = 1; s < summary.size(); ++s) {
+        if (summary.node(s).kind == NodeKind::kAttribute) {
+          cand[id].push_back(s);
+        }
+      }
+    } else {
+      for (SummaryNodeId s : summary.ElementNodes()) cand[id].push_back(s);
+    }
+  }
+  // Arc-consistency: iterate until fixpoint — a candidate for a node must
+  // have a compatible candidate at each neighbor (parent and children).
+  bool changed = true;
+  std::vector<XamNodeId> order = p.PreOrder();
+  while (changed) {
+    changed = false;
+    // Downward: child candidates must connect to some parent candidate.
+    for (XamNodeId id : order) {
+      if (id == kXamRoot) continue;
+      const XamEdge& edge = p.IncomingEdge(id);
+      XamNodeId parent = p.node(id).parent;
+      std::vector<SummaryNodeId> kept;
+      for (SummaryNodeId c : cand[id]) {
+        bool ok = false;
+        for (SummaryNodeId pc : cand[parent]) {
+          if (edge.axis == Axis::kChild ? summary.IsParent(pc, c)
+                                        : (pc == summary.document_node()
+                                               ? true
+                                               : summary.IsAncestor(pc, c))) {
+            ok = true;
+            break;
+          }
+        }
+        if (!ok) changed = true;
+        if (ok) kept.push_back(c);
+      }
+      cand[id] = std::move(kept);
+    }
+    // Upward: parent candidates must have a compatible child candidate for
+    // every child edge.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      XamNodeId id = *it;
+      for (const XamEdge& e : p.node(id).edges) {
+        std::vector<SummaryNodeId> kept;
+        for (SummaryNodeId pc : cand[id]) {
+          bool ok = false;
+          for (SummaryNodeId c : cand[e.child]) {
+            bool rel = e.axis == Axis::kChild
+                           ? summary.IsParent(pc, c)
+                           : (pc == summary.document_node()
+                                  ? true
+                                  : summary.IsAncestor(pc, c));
+            if (rel) {
+              ok = true;
+              break;
+            }
+          }
+          if (!ok) changed = true;
+          if (ok) kept.push_back(pc);
+        }
+        cand[id] = std::move(kept);
+      }
+    }
+  }
+  return cand;
+}
+
+bool IsSatisfiable(const Xam& p, const PathSummary& summary) {
+  return !EmbedIntoSummary(p, summary, 1).empty();
+}
+
+}  // namespace uload

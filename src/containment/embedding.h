@@ -1,0 +1,39 @@
+// Embeddings of XAM patterns into path summaries (thesis §4.1, §4.3).
+//
+// An embedding maps every pattern node to a summary node such that labels
+// match (wildcards match anything of the right kind), ⊤ maps to the summary
+// document node, and / and // edges map to parent / ancestor pairs.
+#ifndef ULOAD_CONTAINMENT_EMBEDDING_H_
+#define ULOAD_CONTAINMENT_EMBEDDING_H_
+
+#include <vector>
+
+#include "summary/path_summary.h"
+#include "xam/xam.h"
+
+namespace uload {
+
+// One summary node per XAM node id; index 0 (⊤) is always the summary
+// document node.
+using SummaryEmbedding = std::vector<SummaryNodeId>;
+
+// Enumerates all embeddings of the *strict* skeleton of `p` (optional and
+// nested edges treated as plain structural edges). Stops after `limit`
+// embeddings.
+std::vector<SummaryEmbedding> EmbedIntoSummary(const Xam& p,
+                                               const PathSummary& summary,
+                                               size_t limit = SIZE_MAX);
+
+// Path annotation (Def. 4.3.1): for every pattern node, the set of summary
+// nodes it maps to under some embedding. Computed by arc-consistency
+// filtering followed by embedding enumeration confirmation when needed;
+// complexity is bounded by summary size × pattern size per refinement pass.
+std::vector<std::vector<SummaryNodeId>> PathAnnotations(
+    const Xam& p, const PathSummary& summary);
+
+// True if the pattern has at least one embedding (S-satisfiability).
+bool IsSatisfiable(const Xam& p, const PathSummary& summary);
+
+}  // namespace uload
+
+#endif  // ULOAD_CONTAINMENT_EMBEDDING_H_

@@ -1,0 +1,33 @@
+// Pattern minimization under summary constraints (thesis §4.5).
+//
+// S-contraction erases one non-return node at a time (its children
+// reconnect to its parent through // edges) while preserving S-equivalence;
+// MinimizeByContraction drives this to a fixpoint. MinimizeGlobally
+// additionally searches for strictly smaller S-equivalent chain patterns
+// (the t'' of Fig. 4.12), which S-contraction alone cannot reach because
+// the summary "brings in more nodes than are available in the pattern".
+#ifndef ULOAD_CONTAINMENT_MINIMIZE_H_
+#define ULOAD_CONTAINMENT_MINIMIZE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "containment/containment.h"
+
+namespace uload {
+
+// All patterns minimal under S-contraction derivable from `p` (several may
+// exist). Result patterns are S-equivalent to p.
+Result<std::vector<Xam>> MinimizeByContraction(const Xam& p,
+                                               const PathSummary& summary);
+
+// The smallest S-equivalent patterns found: the S-contraction minima, plus
+// (for single-return-node patterns) chain patterns built from labels on the
+// return node's path annotation. Returns all patterns of the smallest size
+// discovered.
+Result<std::vector<Xam>> MinimizeGlobally(const Xam& p,
+                                          const PathSummary& summary);
+
+}  // namespace uload
+
+#endif  // ULOAD_CONTAINMENT_MINIMIZE_H_

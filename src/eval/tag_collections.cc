@@ -1,0 +1,61 @@
+#include "eval/tag_collections.h"
+
+namespace uload {
+namespace {
+
+NestedRelation Collect(const Document& doc, const std::string& label,
+                       bool attributes, const TagCollectionOptions& opts) {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Atomic(opts.prefix + "_ID"));
+  if (opts.with_tag) attrs.push_back(Attribute::Atomic(opts.prefix + "_Tag"));
+  if (opts.with_val) attrs.push_back(Attribute::Atomic(opts.prefix + "_Val"));
+  if (opts.with_cont) {
+    attrs.push_back(Attribute::Atomic(opts.prefix + "_Cont"));
+  }
+  NestedRelation out(Schema::Make(std::move(attrs)), CollectionKind::kList);
+  for (NodeIndex i = 1; i < doc.size(); ++i) {
+    const Node& n = doc.node(i);
+    if (attributes) {
+      if (!n.is_attribute()) continue;
+    } else {
+      if (!n.is_element()) continue;
+    }
+    if (!label.empty() && n.label != label) continue;
+    Tuple t;
+    t.fields.emplace_back(MakeNodeId(doc, i, opts.id_kind));
+    if (opts.with_tag) t.fields.emplace_back(AtomicValue::String(n.label));
+    if (opts.with_val) {
+      t.fields.emplace_back(AtomicValue::String(doc.Value(i)));
+    }
+    if (opts.with_cont) {
+      t.fields.emplace_back(AtomicValue::String(doc.Content(i)));
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+AtomicValue MakeNodeId(const Document& doc, NodeIndex n, IdKind kind) {
+  if (kind == IdKind::kParental) {
+    return AtomicValue::Dewey(doc.Dewey(n));
+  }
+  // Simple/ordered identifiers are physically materialized as the (pre,
+  // post, depth) triple too; the XAM's IdKind governs what the *optimizer*
+  // may assume about them, not the bytes on disk.
+  return AtomicValue::Sid(doc.node(n).sid);
+}
+
+NestedRelation TagCollection(const Document& doc, const std::string& label,
+                             const TagCollectionOptions& opts) {
+  return Collect(doc, label, /*attributes=*/false, opts);
+}
+
+NestedRelation AttributeCollection(const Document& doc,
+                                   const std::string& name,
+                                   const TagCollectionOptions& opts) {
+  return Collect(doc, name, /*attributes=*/true, opts);
+}
+
+}  // namespace uload

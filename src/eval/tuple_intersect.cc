@@ -1,0 +1,60 @@
+#include "eval/tuple_intersect.h"
+
+namespace uload {
+
+Result<std::optional<Tuple>> TupleIntersect(const Schema& t_schema,
+                                            const Tuple& t,
+                                            const Schema& b_schema,
+                                            const Tuple& b) {
+  Tuple out = t;
+  for (int bi = 0; bi < b_schema.size(); ++bi) {
+    const Attribute& battr = b_schema.attr(bi);
+    int ti = t_schema.IndexOf(battr.name);
+    if (ti < 0) {
+      return Status::InvalidArgument("binding attribute '" + battr.name +
+                                     "' not in tuple schema {" +
+                                     t_schema.ToString() + "}");
+    }
+    const Attribute& tattr = t_schema.attr(ti);
+    if (battr.is_collection != tattr.is_collection) {
+      return Status::TypeError("binding attribute '" + battr.name +
+                               "' kind mismatch");
+    }
+    if (!battr.is_collection) {
+      // Lines 2-7: common atomic attributes must agree.
+      const AtomicValue& tv = t.fields[ti].atom();
+      const AtomicValue& bv = b.fields[bi].atom();
+      if (bv.is_null()) continue;  // unconstrained binding slot
+      if (!(tv == bv)) return std::optional<Tuple>();
+      continue;
+    }
+    // Lines 8-11: common collection attributes intersect pairwise.
+    const TupleList& tc = t.fields[ti].collection();
+    const TupleList& bc = b.fields[bi].collection();
+    TupleList merged;
+    for (const Tuple& ts : tc) {
+      for (const Tuple& bs : bc) {
+        ULOAD_ASSIGN_OR_RETURN(
+            std::optional<Tuple> sub,
+            TupleIntersect(*tattr.nested, ts, *battr.nested, bs));
+        if (sub.has_value()) {
+          // ∪ is list concatenation; avoid exact duplicates from multiple
+          // binding matches of the same sub-tuple.
+          bool dup = false;
+          for (const Tuple& m : merged) {
+            if (TuplesEqual(m, *sub)) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) merged.push_back(std::move(*sub));
+        }
+      }
+    }
+    if (merged.empty()) return std::optional<Tuple>();
+    out.fields[ti] = Field(std::move(merged));
+  }
+  return std::optional<Tuple>(std::move(out));
+}
+
+}  // namespace uload

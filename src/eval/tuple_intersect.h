@@ -1,0 +1,24 @@
+// Nested tuple intersection t ∩ b (Algorithm 1 of §2.2.2): the data
+// accessible from tuple t given binding tuple b. b's schema must be a
+// (nested) projection of t's schema, matched by attribute names.
+#ifndef ULOAD_EVAL_TUPLE_INTERSECT_H_
+#define ULOAD_EVAL_TUPLE_INTERSECT_H_
+
+#include <optional>
+
+#include "algebra/relation.h"
+#include "common/status.h"
+
+namespace uload {
+
+// Returns nullopt when no data of t is reachable given b (the "∅" case):
+// some common atomic attribute disagrees, or a common collection attribute
+// intersects to empty.
+Result<std::optional<Tuple>> TupleIntersect(const Schema& t_schema,
+                                            const Tuple& t,
+                                            const Schema& b_schema,
+                                            const Tuple& b);
+
+}  // namespace uload
+
+#endif  // ULOAD_EVAL_TUPLE_INTERSECT_H_

@@ -1,0 +1,277 @@
+#include "eval/xam_eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "eval/tag_collections.h"
+#include "eval/tuple_intersect.h"
+#include "exec/evaluator.h"
+
+namespace uload {
+namespace {
+
+// Builds the relation for the subtree rooted at `id` (not ⊤). Internal
+// invariant: the result always materializes <name>_ID as its first
+// top-level attribute so parents can join against it; Π_χ trims later.
+Result<NestedRelation> EvalSubtree(const Xam& xam, XamNodeId id,
+                                   const Document& doc) {
+  const XamNode& n = xam.node(id);
+
+  // Base collection: always carry the ID; Tag/Val/Cont as specified.
+  TagCollectionOptions opts;
+  opts.prefix = n.name;
+  opts.with_tag = n.stores_tag;
+  opts.with_val = n.stores_val || !n.val_formula.IsTrue();
+  opts.with_cont = n.stores_cont;
+  opts.id_kind = n.id_kind;
+  NestedRelation base =
+      n.is_attribute
+          ? AttributeCollection(
+                doc,
+                n.tag_value.empty() ? "" : n.tag_value.substr(1),  // drop '@'
+                opts)
+          : TagCollection(doc, n.tag_value, opts);
+
+  // σ_χ: value-formula filter (applied here rather than via a plan Select so
+  // general interval formulas work, not only v θ c atoms).
+  if (!n.val_formula.IsTrue()) {
+    NestedRelation filtered(base.schema_ptr(), base.kind());
+    int val_idx = base.schema().IndexOf(n.name + "_Val");
+    for (const Tuple& t : base.tuples()) {
+      const AtomicValue& v = t.fields[val_idx].atom();
+      // Untyped data: try both the string and its numeric reading.
+      bool ok = n.val_formula.SatisfiedBy(v);
+      if (!ok && v.is_string()) {
+        double d;
+        if (ParseNumber(v.as_string(), &d)) {
+          ok = n.val_formula.SatisfiedBy(AtomicValue::Number(d));
+        }
+      }
+      if (ok) filtered.Add(t);
+    }
+    base = std::move(filtered);
+    // If the formula was only a predicate (Val not stored), drop the Val
+    // column again so the schema matches ViewSchema.
+    if (!n.stores_val) {
+      std::vector<std::string> keep;
+      for (const Attribute& a : base.schema().attrs()) {
+        if (a.name != n.name + "_Val") keep.push_back(a.name);
+      }
+      EvalContext ctx;
+      std::unordered_map<std::string, const NestedRelation*> rels{
+          {"base", &base}};
+      ctx.relations = rels;
+      ULOAD_ASSIGN_OR_RETURN(
+          base,
+          Evaluate(*LogicalPlan::Project(LogicalPlan::Scan("base"), keep),
+                   ctx));
+    }
+  }
+
+  // Fold children left-to-right with structural joins (Def. 2.2.4).
+  NestedRelation cur = std::move(base);
+  for (const XamEdge& e : n.edges) {
+    ULOAD_ASSIGN_OR_RETURN(NestedRelation child,
+                           EvalSubtree(xam, e.child, doc));
+    PlanPtr plan = LogicalPlan::StructuralJoin(
+        LogicalPlan::Scan("L"), LogicalPlan::Scan("R"), n.name + "_ID",
+        e.axis, xam.node(e.child).name + "_ID", e.variant,
+        xam.node(e.child).name);
+    std::unordered_map<std::string, const NestedRelation*> rels{
+        {"L", &cur}, {"R", &child}};
+    ULOAD_ASSIGN_OR_RETURN(cur, Evaluate(*plan, rels, &doc));
+  }
+  return cur;
+}
+
+// Dotted attribute paths of the view schema relative to the subtree rooted
+// at `id`, with `prefix` accumulated from enclosing nested collections.
+void CollectViewPaths(const Xam& xam, XamNodeId id, const std::string& prefix,
+                      std::vector<std::string>* out) {
+  const XamNode& n = xam.node(id);
+  if (id != kXamRoot) {
+    if (n.stores_id) out->push_back(prefix + n.name + "_ID");
+    if (n.stores_tag) out->push_back(prefix + n.name + "_Tag");
+    if (n.stores_val) out->push_back(prefix + n.name + "_Val");
+    if (n.stores_cont) out->push_back(prefix + n.name + "_Cont");
+  }
+  for (const XamEdge& e : n.edges) {
+    if (e.nested()) {
+      // The nested collection attribute is named after the child node; the
+      // child's own attributes live inside it.
+      CollectViewPaths(xam, e.child,
+                       prefix + xam.node(e.child).name + ".", out);
+    } else if (e.semi()) {
+      // Semijoined subtrees contribute no attributes.
+    } else {
+      CollectViewPaths(xam, e.child, prefix, out);
+    }
+  }
+}
+
+// Removes duplicate tuples inside nested collections (the top level is
+// handled by the duplicate-eliminating projection); stable, so document
+// order is preserved.
+void DedupNestedCollections(const Schema& schema, TupleList* tuples) {
+  for (int i = 0; i < schema.size(); ++i) {
+    if (!schema.attr(i).is_collection) continue;
+    for (Tuple& t : *tuples) {
+      Field& f = t.fields[i];
+      if (!f.is_collection()) continue;
+      DedupNestedCollections(*schema.attr(i).nested, &f.collection());
+      NestedRelation tmp(schema.attr(i).nested);
+      tmp.mutable_tuples() = std::move(f.collection());
+      tmp.Deduplicate();
+      f.collection() = std::move(tmp.mutable_tuples());
+    }
+  }
+}
+
+}  // namespace
+
+Result<NestedRelation> EvaluateXam(const Xam& xam, const Document& doc) {
+  const XamNode& top = xam.node(kXamRoot);
+  if (top.edges.empty()) {
+    // ⊤ alone: a single tuple carrying the root id (Def. 2.2.2) — projected
+    // to nothing by the view schema.
+    return NestedRelation(Schema::Make({}));
+  }
+
+  // ⊤'s children: a / edge restricts matches to the root element; // allows
+  // any element. Multiple children combine by cartesian product (they are
+  // all descendants of the document root).
+  NestedRelation cur;
+  bool first = true;
+  for (const XamEdge& e : top.edges) {
+    ULOAD_ASSIGN_OR_RETURN(NestedRelation sub, EvalSubtree(xam, e.child, doc));
+    if (e.axis == Axis::kChild) {
+      // Keep only matches that are the document root element (or attributes
+      // of the document node, which do not exist — so only the root).
+      NestedRelation filtered(sub.schema_ptr(), sub.kind());
+      const std::string id_attr = xam.node(e.child).name + "_ID";
+      int idx = sub.schema().IndexOf(id_attr);
+      NodeIndex root = doc.root();
+      for (const Tuple& t : sub.tuples()) {
+        const AtomicValue& v = t.fields[idx].atom();
+        bool is_root = false;
+        if (v.kind() == AtomicValue::Kind::kSid) {
+          is_root = v.sid() == doc.node(root).sid;
+        } else if (v.kind() == AtomicValue::Kind::kDewey) {
+          is_root = v.dewey() == doc.Dewey(root);
+        }
+        if (is_root) filtered.Add(t);
+      }
+      sub = std::move(filtered);
+    }
+    if (e.semi()) {
+      if (sub.empty()) {
+        return NestedRelation(xam.ViewSchema(), CollectionKind::kList);
+      }
+      continue;  // existential only: no attributes contributed
+    }
+    if (e.nested()) {
+      // Nest the whole subtree into a single tuple with one collection
+      // (grouping at the root level). kNestOuter yields the tuple even when
+      // the collection is empty; kNestJoin yields nothing then.
+      if (sub.empty() && e.variant == JoinVariant::kNestJoin) {
+        return NestedRelation(xam.ViewSchema(), CollectionKind::kList);
+      }
+      SchemaPtr ns = Schema::Make({Attribute::Collection(
+          xam.node(e.child).name, sub.schema_ptr())});
+      NestedRelation nested(ns, sub.kind());
+      Tuple t;
+      t.fields.emplace_back(sub.tuples());
+      nested.Add(std::move(t));
+      sub = std::move(nested);
+    }
+    if (first) {
+      cur = std::move(sub);
+      first = false;
+    } else {
+      std::unordered_map<std::string, const NestedRelation*> rels{
+          {"L", &cur}, {"R", &sub}};
+      ULOAD_ASSIGN_OR_RETURN(
+          cur, Evaluate(*LogicalPlan::Product(LogicalPlan::Scan("L"),
+                                              LogicalPlan::Scan("R")),
+                        rels));
+    }
+  }
+
+  // Order by document order of the first (outermost) ID column if requested.
+  if (xam.ordered() && cur.schema().size() > 0) {
+    cur.Sort();  // full-tuple sort; leading attr is the outermost ID
+  }
+
+  // Π_χ: retain exactly the specified attributes, then eliminate duplicate
+  // tuples (Def. 2.2.3(2)(iii)). Pattern semantics are *sets* of return-node
+  // tuples; for ordered XAMs the stable deduplication keeps the earliest
+  // occurrence, preserving document order.
+  std::vector<std::string> paths;
+  CollectViewPaths(xam, kXamRoot, "", &paths);
+  if (paths.empty()) {
+    // No stored attributes anywhere: the view's information content is just
+    // emptiness or not; represent as 0-column tuples.
+    NestedRelation out(Schema::Make({}));
+    for (int64_t i = 0; i < cur.size(); ++i) out.Add(Tuple{});
+    out.Deduplicate();
+    return out;
+  }
+  std::unordered_map<std::string, const NestedRelation*> rels{{"in", &cur}};
+  ULOAD_ASSIGN_OR_RETURN(
+      NestedRelation out,
+      Evaluate(*LogicalPlan::Project(LogicalPlan::Scan("in"), paths,
+                                     /*dedup=*/true),
+               rels));
+  DedupNestedCollections(out.schema(), &out.mutable_tuples());
+  return out;
+}
+
+namespace {
+
+void CollectBindingSchema(const Xam& xam, XamNodeId id,
+                          std::vector<Attribute>* attrs) {
+  const XamNode& n = xam.node(id);
+  if (id != kXamRoot) {
+    if (n.id_required) attrs->push_back(Attribute::Atomic(n.name + "_ID"));
+    if (n.tag_required) attrs->push_back(Attribute::Atomic(n.name + "_Tag"));
+    if (n.val_required) attrs->push_back(Attribute::Atomic(n.name + "_Val"));
+  }
+  for (const XamEdge& e : n.edges) {
+    if (e.nested()) {
+      std::vector<Attribute> sub;
+      CollectBindingSchema(xam, e.child, &sub);
+      if (!sub.empty()) {
+        attrs->push_back(Attribute::Collection(xam.node(e.child).name,
+                                               Schema::Make(sub)));
+      }
+    } else {
+      CollectBindingSchema(xam, e.child, attrs);
+    }
+  }
+}
+
+}  // namespace
+
+SchemaPtr BindingSchema(const Xam& xam) {
+  std::vector<Attribute> attrs;
+  CollectBindingSchema(xam, kXamRoot, &attrs);
+  return Schema::Make(std::move(attrs));
+}
+
+Result<NestedRelation> EvaluateXamWithBindings(
+    const Xam& xam, const Document& doc, const NestedRelation& bindings) {
+  ULOAD_ASSIGN_OR_RETURN(NestedRelation full, EvaluateXam(xam, doc));
+  NestedRelation out(full.schema_ptr(), full.kind());
+  for (const Tuple& b : bindings.tuples()) {
+    for (const Tuple& t : full.tuples()) {
+      ULOAD_ASSIGN_OR_RETURN(
+          std::optional<Tuple> m,
+          TupleIntersect(full.schema(), t, bindings.schema(), b));
+      if (m.has_value()) out.Add(std::move(*m));
+    }
+  }
+  return out;
+}
+
+}  // namespace uload

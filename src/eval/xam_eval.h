@@ -1,0 +1,37 @@
+// Algebraic XAM semantics over a document (thesis §2.2.2).
+//
+// [[χ]]_d is computed by a structural-join tree isomorphic to the XAM
+// (Def. 2.2.4): each node contributes its tag-derived base collection
+// filtered by its value formula; edges contribute structural
+// (semi/outer/nest) joins; the final projection Π_χ retains exactly the
+// specified attributes (Def. 2.2.5). R-marked XAMs are evaluated against a
+// bindings list via nested tuple intersection (Def. 2.2.6).
+#ifndef ULOAD_EVAL_XAM_EVAL_H_
+#define ULOAD_EVAL_XAM_EVAL_H_
+
+#include "algebra/relation.h"
+#include "common/status.h"
+#include "xam/xam.h"
+#include "xml/document.h"
+
+namespace uload {
+
+// Evaluates a XAM without R markers (markers, if present, are ignored: this
+// computes [[χ⁰]]_d). The result's schema is xam.ViewSchema(); if the XAM is
+// ordered, tuples follow document order of the outermost returned node.
+Result<NestedRelation> EvaluateXam(const Xam& xam, const Document& doc);
+
+// Def. 2.2.6: the semantics of an access-restricted XAM given bindings.
+// `bindings`' schema must use the same attribute names as the view schema,
+// restricted to R-marked attributes.
+Result<NestedRelation> EvaluateXamWithBindings(const Xam& xam,
+                                               const Document& doc,
+                                               const NestedRelation& bindings);
+
+// The schema bindings for `xam` must have: its R-marked attributes, nested
+// the same way as in ViewSchema().
+SchemaPtr BindingSchema(const Xam& xam);
+
+}  // namespace uload
+
+#endif  // ULOAD_EVAL_XAM_EVAL_H_

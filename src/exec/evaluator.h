@@ -1,0 +1,49 @@
+// Materializing evaluator for logical plans.
+//
+// Each operator consumes fully materialized nested relations and produces
+// one; structural joins use the StackTree kernels when both join attributes
+// are top-level (pre, post, depth) identifiers and fall back to map-based
+// nested evaluation otherwise (the `map` meta-operator of §1.2.2).
+#ifndef ULOAD_EXEC_EVALUATOR_H_
+#define ULOAD_EXEC_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/logical_plan.h"
+#include "algebra/relation.h"
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace uload {
+
+struct EvalContext {
+  // Named base relations (materialized views / storage structures).
+  std::unordered_map<std::string, const NestedRelation*> relations;
+
+  // Lookup hook for kIndexScan over R-marked XAM stores. Receives the
+  // relation name and the equality bindings.
+  std::function<Result<NestedRelation>(
+      const std::string&,
+      const std::vector<std::pair<std::string, AtomicValue>>&)>
+      index_lookup;
+
+  // Document backing kNavigate (and Sid resolution).
+  const Document* document = nullptr;
+};
+
+// Evaluates `plan` under `ctx`.
+Result<NestedRelation> Evaluate(const LogicalPlan& plan,
+                                const EvalContext& ctx);
+
+// Convenience: evaluates a plan whose only base relations are in `rels`.
+Result<NestedRelation> Evaluate(
+    const LogicalPlan& plan,
+    const std::unordered_map<std::string, const NestedRelation*>& rels,
+    const Document* doc = nullptr);
+
+}  // namespace uload
+
+#endif  // ULOAD_EXEC_EVALUATOR_H_

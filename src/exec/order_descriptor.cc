@@ -1,0 +1,105 @@
+#include "exec/order_descriptor.h"
+
+#include <algorithm>
+
+namespace uload {
+
+std::string OrderDescriptor::ToString() const {
+  std::string out = "⇃";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].attr;
+    if (!keys_[i].ascending) out += " desc";
+  }
+  out += "⇂";
+  return out;
+}
+
+namespace {
+
+// Sorts one nesting level. `path` addresses an atomic attribute; the prefix
+// up to the first collection is navigated, then recursion sorts inside.
+Status SortLevel(const Schema& schema, const AttrPath& path, size_t depth,
+                 bool ascending, TupleList* tuples) {
+  // Find whether path[depth] is a collection (recurse) or atomic (sort here).
+  const Attribute& attr = schema.attr(path[depth]);
+  if (depth + 1 == path.size()) {
+    if (attr.is_collection) {
+      return Status::TypeError("cannot sort by collection attribute '" +
+                               attr.name + "'");
+    }
+    std::stable_sort(tuples->begin(), tuples->end(),
+                     [&](const Tuple& a, const Tuple& b) {
+                       int c = AtomicValue::Compare(a.fields[path[depth]].atom(),
+                                                    b.fields[path[depth]].atom());
+                       return ascending ? c < 0 : c > 0;
+                     });
+    return Status::Ok();
+  }
+  if (!attr.is_collection) {
+    return Status::TypeError("order path crosses atomic attribute '" +
+                             attr.name + "'");
+  }
+  for (Tuple& t : *tuples) {
+    Field& f = t.fields[path[depth]];
+    if (!f.is_collection()) continue;
+    ULOAD_RETURN_NOT_OK(SortLevel(*attr.nested, path, depth + 1, ascending,
+                                  &f.collection()));
+  }
+  return Status::Ok();
+}
+
+Result<bool> CheckLevel(const Schema& schema, const AttrPath& path,
+                        size_t depth, bool ascending,
+                        const TupleList& tuples) {
+  const Attribute& attr = schema.attr(path[depth]);
+  if (depth + 1 == path.size()) {
+    for (size_t i = 1; i < tuples.size(); ++i) {
+      int c = AtomicValue::Compare(tuples[i - 1].fields[path[depth]].atom(),
+                                   tuples[i].fields[path[depth]].atom());
+      if (ascending ? c > 0 : c < 0) return false;
+    }
+    return true;
+  }
+  if (!attr.is_collection) {
+    return Status::TypeError("order path crosses atomic attribute '" +
+                             attr.name + "'");
+  }
+  for (const Tuple& t : tuples) {
+    const Field& f = t.fields[path[depth]];
+    if (!f.is_collection()) continue;
+    ULOAD_ASSIGN_OR_RETURN(
+        bool ok, CheckLevel(*attr.nested, path, depth + 1, ascending,
+                            f.collection()));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SortBy(const OrderDescriptor& order, NestedRelation* rel) {
+  // Apply keys in reverse so the first key is the primary one (stable sort).
+  for (auto it = order.keys().rbegin(); it != order.keys().rend(); ++it) {
+    ULOAD_ASSIGN_OR_RETURN(AttrPath path,
+                           ResolveAttrPath(rel->schema(), it->attr));
+    ULOAD_RETURN_NOT_OK(SortLevel(rel->schema(), path, 0, it->ascending,
+                                  &rel->mutable_tuples()));
+  }
+  return Status::Ok();
+}
+
+Result<bool> IsSortedBy(const OrderDescriptor& order,
+                        const NestedRelation& rel) {
+  for (const OrderKey& key : order.keys()) {
+    ULOAD_ASSIGN_OR_RETURN(AttrPath path,
+                           ResolveAttrPath(rel.schema(), key.attr));
+    ULOAD_ASSIGN_OR_RETURN(
+        bool ok,
+        CheckLevel(rel.schema(), path, 0, key.ascending, rel.tuples()));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace uload

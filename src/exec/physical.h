@@ -1,0 +1,57 @@
+// Physical operators (thesis §1.2.3): the iterator-model execution engine.
+//
+// Each logical operator op has a physical counterpart op_φ; all physical
+// operators consume and produce streams of (possibly nested) tuples through
+// the classic Open/Next/Close interface. Structural joins are implemented
+// by the streaming StackTreeAnc algorithm, which requires both inputs in
+// document order — the compiler tracks order descriptors and inserts Sort_φ
+// enforcers exactly where the requirement is not already met, the way the
+// thesis's optimizer pipes structural joins into each other.
+#ifndef ULOAD_EXEC_PHYSICAL_H_
+#define ULOAD_EXEC_PHYSICAL_H_
+
+#include <memory>
+#include <optional>
+
+#include "exec/evaluator.h"
+#include "exec/order_descriptor.h"
+
+namespace uload {
+
+// Pull-based physical operator.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  virtual Status Open() = 0;
+  // Produces the next tuple, or nullopt at end of stream.
+  virtual Result<std::optional<Tuple>> Next() = 0;
+  virtual void Close() = 0;
+
+  // Output schema, valid after construction.
+  virtual const SchemaPtr& schema() const = 0;
+  // Order of the produced stream (may be empty = unordered).
+  virtual const OrderDescriptor& order() const = 0;
+
+  // Operator-tree rendering with physical operator names.
+  virtual std::string Describe(int indent = 0) const = 0;
+};
+
+using PhysicalPtr = std::unique_ptr<PhysicalOperator>;
+
+// Compiles a logical plan into a physical operator tree. Inputs of
+// structural joins that are not already sorted on the join attribute get a
+// Sort_φ enforcer. Navigation/index operators capture the context.
+Result<PhysicalPtr> CompilePhysicalPlan(const PlanPtr& plan,
+                                        const EvalContext& ctx);
+
+// Drains a physical operator tree into a materialized relation.
+Result<NestedRelation> ExecutePhysical(PhysicalOperator* root);
+
+// Convenience: compile + execute.
+Result<NestedRelation> ExecutePhysicalPlan(const PlanPtr& plan,
+                                           const EvalContext& ctx);
+
+}  // namespace uload
+
+#endif  // ULOAD_EXEC_PHYSICAL_H_

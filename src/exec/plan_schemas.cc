@@ -1,0 +1,116 @@
+#include "exec/plan_schemas.h"
+
+#include <map>
+
+namespace uload {
+namespace {
+
+struct ProjTree {
+  std::map<int, ProjTree> children;
+  bool keep_all = false;
+};
+
+Status BuildProjTree(const Schema& schema,
+                     const std::vector<std::string>& attrs, ProjTree* root) {
+  for (const std::string& dotted : attrs) {
+    ULOAD_ASSIGN_OR_RETURN(AttrPath path, ResolveAttrPath(schema, dotted));
+    ProjTree* cur = root;
+    for (size_t i = 0; i < path.size(); ++i) cur = &cur->children[path[i]];
+    cur->keep_all = true;
+  }
+  return Status::Ok();
+}
+
+SchemaPtr ProjSchema(const Schema& schema, const ProjTree& tree) {
+  std::vector<Attribute> attrs;
+  for (const auto& [idx, sub] : tree.children) {
+    const Attribute& a = schema.attr(idx);
+    if (sub.keep_all || !a.is_collection) {
+      attrs.push_back(a);
+    } else {
+      attrs.push_back(Attribute::Collection(a.name, ProjSchema(*a.nested, sub),
+                                            a.collection_kind));
+    }
+  }
+  return Schema::Make(std::move(attrs));
+}
+
+Tuple ProjTuple(const Schema& schema, const ProjTree& tree, const Tuple& t) {
+  Tuple out;
+  for (const auto& [idx, sub] : tree.children) {
+    const Attribute& a = schema.attr(idx);
+    const Field& f = t.fields[idx];
+    if (sub.keep_all || !a.is_collection || !f.is_collection()) {
+      out.fields.push_back(f);
+    } else {
+      TupleList nested;
+      nested.reserve(f.collection().size());
+      for (const Tuple& s : f.collection()) {
+        nested.push_back(ProjTuple(*a.nested, sub, s));
+      }
+      out.fields.emplace_back(std::move(nested));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SchemaPtr JoinOutputSchema(const Schema& left, const Schema& right,
+                           JoinVariant variant, const std::string& nest_as) {
+  switch (variant) {
+    case JoinVariant::kInner:
+    case JoinVariant::kLeftOuter:
+      return Schema::Concat(left, right);
+    case JoinVariant::kSemi:
+      return Schema::Make(left.attrs());
+    case JoinVariant::kNestJoin:
+    case JoinVariant::kNestOuter: {
+      std::vector<Attribute> attrs = left.attrs();
+      attrs.push_back(Attribute::Collection(nest_as.empty() ? "s" : nest_as,
+                                            Schema::Make(right.attrs())));
+      return Schema::Make(std::move(attrs));
+    }
+  }
+  return Schema::Make({});
+}
+
+SchemaPtr PrefixedSchema(const Schema& schema, const std::string& prefix) {
+  std::vector<Attribute> attrs;
+  for (const Attribute& a : schema.attrs()) {
+    if (a.is_collection) {
+      attrs.push_back(Attribute::Collection(prefix + a.name,
+                                            PrefixedSchema(*a.nested, prefix),
+                                            a.collection_kind));
+    } else {
+      attrs.push_back(Attribute::Atomic(prefix + a.name));
+    }
+  }
+  return Schema::Make(std::move(attrs));
+}
+
+SchemaPtr NavigateEmitSchema(const NavEmit& emit) {
+  std::vector<Attribute> attrs;
+  if (emit.id) attrs.push_back(Attribute::Atomic(emit.prefix + "_ID"));
+  if (emit.tag) attrs.push_back(Attribute::Atomic(emit.prefix + "_Tag"));
+  if (emit.val) attrs.push_back(Attribute::Atomic(emit.prefix + "_Val"));
+  if (emit.cont) attrs.push_back(Attribute::Atomic(emit.prefix + "_Cont"));
+  return Schema::Make(std::move(attrs));
+}
+
+Result<SchemaPtr> ProjectionSchema(const Schema& schema,
+                                   const std::vector<std::string>& attrs) {
+  ProjTree tree;
+  ULOAD_RETURN_NOT_OK(BuildProjTree(schema, attrs, &tree));
+  return ProjSchema(schema, tree);
+}
+
+Result<Tuple> ProjectTupleTo(const Schema& schema,
+                             const std::vector<std::string>& attrs,
+                             const Tuple& tuple) {
+  ProjTree tree;
+  ULOAD_RETURN_NOT_OK(BuildProjTree(schema, attrs, &tree));
+  return ProjTuple(schema, tree, tuple);
+}
+
+}  // namespace uload

@@ -1,0 +1,36 @@
+// Output-schema derivation shared by the materializing evaluator and the
+// physical (iterator) engine.
+#ifndef ULOAD_EXEC_PLAN_SCHEMAS_H_
+#define ULOAD_EXEC_PLAN_SCHEMAS_H_
+
+#include "algebra/logical_plan.h"
+#include "algebra/relation.h"
+#include "common/status.h"
+
+namespace uload {
+
+// Schema of a join's output per variant: concat (inner/outer), left only
+// (semi), left + one collection named `nest_as` (nest variants).
+SchemaPtr JoinOutputSchema(const Schema& left, const Schema& right,
+                           JoinVariant variant, const std::string& nest_as);
+
+// Schema with every attribute (at all nesting levels) renamed to
+// <prefix><name>.
+SchemaPtr PrefixedSchema(const Schema& schema, const std::string& prefix);
+
+// Schema of the columns a Navigate emits.
+SchemaPtr NavigateEmitSchema(const NavEmit& emit);
+
+// Schema of a projection given dotted attribute paths (nested paths keep
+// their collection structure).
+Result<SchemaPtr> ProjectionSchema(const Schema& schema,
+                                   const std::vector<std::string>& attrs);
+
+// Per-tuple projection matching ProjectionSchema.
+Result<Tuple> ProjectTupleTo(const Schema& schema,
+                             const std::vector<std::string>& attrs,
+                             const Tuple& tuple);
+
+}  // namespace uload
+
+#endif  // ULOAD_EXEC_PLAN_SCHEMAS_H_

@@ -1,0 +1,107 @@
+#include "exec/structural_join.h"
+
+namespace uload {
+namespace {
+
+bool Matches(const StructuralId& a, const StructuralId& d, Axis axis) {
+  return axis == Axis::kChild ? IsParent(a, d) : IsAncestor(a, d);
+}
+
+}  // namespace
+
+std::vector<JoinPair> StackTreeDesc(const std::vector<StructuralId>& anc,
+                                    const std::vector<StructuralId>& desc,
+                                    Axis axis) {
+  std::vector<JoinPair> out;
+  std::vector<size_t> stack;  // indices into anc, nested by containment
+  size_t a = 0;
+  size_t d = 0;
+  while (d < desc.size()) {
+    // Advance the ancestor cursor while the next ancestor starts before the
+    // current descendant. A stack entry precedes (does not contain) the new
+    // node exactly when its post label is smaller (pre labels already are).
+    if (a < anc.size() && anc[a].pre < desc[d].pre) {
+      while (!stack.empty() && anc[stack.back()].post < anc[a].post) {
+        stack.pop_back();
+      }
+      stack.push_back(a);
+      ++a;
+      continue;
+    }
+    // Pop ancestors whose subtree ends before the current descendant.
+    while (!stack.empty() && anc[stack.back()].post < desc[d].post) {
+      stack.pop_back();
+    }
+    for (size_t s : stack) {
+      if (Matches(anc[s], desc[d], axis)) {
+        out.push_back(JoinPair{s, d});
+      }
+    }
+    ++d;
+  }
+  return out;
+}
+
+std::vector<JoinPair> StackTreeAnc(const std::vector<StructuralId>& anc,
+                                   const std::vector<StructuralId>& desc,
+                                   Axis axis) {
+  std::vector<JoinPair> out;
+  struct Entry {
+    size_t index;                // into anc
+    std::vector<JoinPair> self;  // pairs found for this ancestor
+    std::vector<JoinPair> inherited;  // completed deeper ancestors' pairs
+  };
+  std::vector<Entry> stack;
+
+  auto pop = [&]() {
+    Entry e = std::move(stack.back());
+    stack.pop_back();
+    e.self.insert(e.self.end(), e.inherited.begin(), e.inherited.end());
+    if (stack.empty()) {
+      out.insert(out.end(), e.self.begin(), e.self.end());
+    } else {
+      std::vector<JoinPair>& sink = stack.back().inherited;
+      sink.insert(sink.end(), e.self.begin(), e.self.end());
+    }
+  };
+
+  size_t a = 0;
+  size_t d = 0;
+  while (d < desc.size()) {
+    if (a < anc.size() && anc[a].pre < desc[d].pre) {
+      while (!stack.empty() && anc[stack.back().index].post < anc[a].post) {
+        pop();
+      }
+      stack.push_back(Entry{a, {}, {}});
+      ++a;
+      continue;
+    }
+    while (!stack.empty() && anc[stack.back().index].post < desc[d].post) {
+      pop();
+    }
+    for (Entry& e : stack) {
+      if (Matches(anc[e.index], desc[d], axis)) {
+        e.self.push_back(JoinPair{e.index, d});
+      }
+    }
+    ++d;
+  }
+  while (!stack.empty()) pop();
+  return out;
+}
+
+std::vector<JoinPair> NestedLoopStructuralJoin(
+    const std::vector<StructuralId>& anc,
+    const std::vector<StructuralId>& desc, Axis axis) {
+  std::vector<JoinPair> out;
+  for (size_t a = 0; a < anc.size(); ++a) {
+    for (size_t d = 0; d < desc.size(); ++d) {
+      if (Matches(anc[a], desc[d], axis)) {
+        out.push_back(JoinPair{a, d});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace uload

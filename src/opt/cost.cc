@@ -1,0 +1,156 @@
+#include "opt/cost.h"
+
+#include <algorithm>
+
+#include "containment/embedding.h"
+
+namespace uload {
+namespace {
+
+constexpr double kPredicateSelectivity = 0.1;
+
+// Cardinality of the subtree rooted at `node`, per instance of the parent's
+// path `at`: how many subtree matches hang below one parent node.
+double SubtreePerParent(const Xam& p, XamNodeId node, SummaryNodeId at,
+                        const PathSummary& s,
+                        const std::vector<std::vector<SummaryNodeId>>& ann) {
+  const XamNode& n = p.node(node);
+  double total = 0;
+  for (SummaryNodeId target : ann[node]) {
+    bool related = p.IncomingEdge(node).axis == Axis::kChild
+                       ? s.IsParent(at, target)
+                       : s.IsAncestor(at, target);
+    if (at == s.document_node()) related = true;
+    if (!related) continue;
+    double per_parent =
+        s.node(at).cardinality > 0
+            ? static_cast<double>(s.node(target).cardinality) /
+                  static_cast<double>(std::max<int64_t>(
+                      1, s.node(at).cardinality))
+            : static_cast<double>(s.node(target).cardinality);
+    // Children multiply (joins); semijoin/optional children only filter or
+    // extend, approximated by a factor of min(1, child cardinality).
+    double self = per_parent;
+    for (const XamEdge& e : n.edges) {
+      double child = SubtreePerParent(p, e.child, target, s, ann);
+      if (e.semi() || e.optional()) {
+        self *= std::min(1.0, std::max(child, 0.0) + (e.optional() ? 1.0 : 0.0));
+      } else if (e.nested()) {
+        // Nesting groups matches: one tuple per parent (if any child).
+        self *= std::min(1.0, std::max(child, 1e-9));
+      } else {
+        self *= std::max(child, 0.0);
+      }
+    }
+    if (!n.val_formula.IsTrue()) self *= kPredicateSelectivity;
+    total += self;
+  }
+  return total;
+}
+
+}  // namespace
+
+double EstimateCardinality(const Xam& pattern, const PathSummary& summary) {
+  std::vector<std::vector<SummaryNodeId>> ann =
+      PathAnnotations(pattern, summary);
+  double total = 1;
+  for (const XamEdge& e : pattern.node(kXamRoot).edges) {
+    double branch =
+        SubtreePerParent(pattern, e.child, summary.document_node(), summary,
+                         ann);
+    if (e.nested()) branch = std::min(branch, 1.0);
+    total *= std::max(branch, 0.0);
+  }
+  return total;
+}
+
+double EstimatePlanCost(
+    const LogicalPlan& plan, const PathSummary& summary,
+    const std::function<double(const std::string&)>& view_card,
+    const CostModel& model) {
+  // Returns (cost, cardinality) bottom-up.
+  struct Est {
+    double cost = 0;
+    double card = 0;
+  };
+  std::function<Est(const LogicalPlan&)> rec =
+      [&](const LogicalPlan& p) -> Est {
+    switch (p.op()) {
+      case PlanOp::kScan:
+      case PlanOp::kIndexScan: {
+        double card = view_card(p.relation());
+        double factor = p.op() == PlanOp::kIndexScan ? 0.05 : 1.0;
+        return Est{card * model.scan_weight * factor, card * factor};
+      }
+      case PlanOp::kSelect: {
+        Est in = rec(*p.left());
+        return Est{in.cost + in.card * model.select_weight,
+                   in.card * model.value_selectivity};
+      }
+      case PlanOp::kProject:
+      case PlanOp::kPrefixNames: {
+        Est in = rec(*p.left());
+        return Est{in.cost + in.card * 0.1, in.card};
+      }
+      case PlanOp::kProduct: {
+        Est l = rec(*p.left());
+        Est r = rec(*p.right());
+        double card = l.card * r.card;
+        return Est{l.cost + r.cost + card * model.join_weight, card};
+      }
+      case PlanOp::kValueJoin:
+      case PlanOp::kStructuralJoin: {
+        Est l = rec(*p.left());
+        Est r = rec(*p.right());
+        // Structural joins tend to be selective: assume each left tuple
+        // meets a constant number of right tuples bounded by fanout.
+        double card = std::min(l.card * r.card,
+                               std::max(l.card, r.card) * 4.0);
+        if (p.variant() == JoinVariant::kSemi) card = l.card;
+        return Est{l.cost + r.cost + (l.card + r.card) * model.join_weight,
+                   card};
+      }
+      case PlanOp::kUnion: {
+        Est l = rec(*p.left());
+        Est r = rec(*p.right());
+        return Est{l.cost + r.cost, l.card + r.card};
+      }
+      case PlanOp::kDifference: {
+        Est l = rec(*p.left());
+        Est r = rec(*p.right());
+        return Est{l.cost + r.cost + (l.card + r.card), l.card};
+      }
+      case PlanOp::kNest: {
+        Est in = rec(*p.left());
+        return Est{in.cost + in.card, 1};
+      }
+      case PlanOp::kUnnest: {
+        Est in = rec(*p.left());
+        return Est{in.cost + in.card, in.card * 4.0};
+      }
+      case PlanOp::kXmlConstruct: {
+        Est in = rec(*p.left());
+        return Est{in.cost + in.card, 1};
+      }
+      case PlanOp::kDeriveParent: {
+        Est in = rec(*p.left());
+        return Est{in.cost + in.card * 0.2, in.card};
+      }
+      case PlanOp::kNavigate: {
+        Est in = rec(*p.left());
+        double card = in.card * 4.0;
+        if (p.variant() == JoinVariant::kSemi ||
+            p.variant() == JoinVariant::kNestJoin ||
+            p.variant() == JoinVariant::kNestOuter) {
+          card = in.card;
+        }
+        return Est{in.cost + in.card * model.navigate_weight, card};
+      }
+    }
+    return Est{};
+  };
+  (void)summary;
+  return rec(plan).cost;
+}
+
+}  // namespace uload

@@ -1,0 +1,46 @@
+// Cardinality and cost estimation over path summaries (thesis §1.2.4 notes
+// that tree patterns are the common abstraction for XML cardinality
+// estimation, so "preliminary cardinality information can be attached ...
+// even before the actual optimisation").
+//
+// The summary stores the exact number of document nodes per path; pattern
+// cardinalities derive from the per-path counts under an independence
+// assumption for branch predicates. Plan costs combine input cardinalities
+// per operator with simple per-tuple weights — enough to rank alternative
+// rewritings, which is all the thesis's optimizer needs.
+#ifndef ULOAD_OPT_COST_H_
+#define ULOAD_OPT_COST_H_
+
+#include <functional>
+
+#include "algebra/logical_plan.h"
+#include "summary/path_summary.h"
+#include "xam/xam.h"
+
+namespace uload {
+
+// Estimated number of result tuples of the pattern over any document
+// conforming to the summary (exact for conjunctive patterns without value
+// predicates whose nodes map to single paths; an estimate otherwise).
+// Value predicates apply a default selectivity of 0.1.
+double EstimateCardinality(const Xam& pattern, const PathSummary& summary);
+
+struct CostModel {
+  double scan_weight = 1.0;        // per scanned tuple
+  double join_weight = 2.0;        // per output tuple of a join
+  double navigate_weight = 8.0;    // navigation touches the document
+  double select_weight = 0.5;
+  double value_selectivity = 0.1;  // default predicate selectivity
+};
+
+// Estimated cost of a plan whose leaf scans are the named patterns.
+// `view_cards` supplies per-relation base cardinalities (e.g. from the
+// catalog); missing names fall back to `default_card`.
+double EstimatePlanCost(
+    const LogicalPlan& plan, const PathSummary& summary,
+    const std::function<double(const std::string&)>& view_card,
+    const CostModel& model = {});
+
+}  // namespace uload
+
+#endif  // ULOAD_OPT_COST_H_

@@ -1,0 +1,60 @@
+// Building equivalent (plan, pattern) pairs (thesis §5.5).
+//
+// The rewriting search manipulates pairs of a logical plan over materialized
+// views and a XAM pattern S-equivalent to that plan. This module provides
+// the pattern-side surgery for each plan-building step, each validated by
+// path-annotation reasoning: a combination step is accepted only when the
+// combined pattern's node annotations stay within the source patterns'
+// annotations, which guarantees no constraint of the sources was lost
+// (otherwise the plan would be equivalent to a union of patterns or to no
+// pattern at all — Fig. 5.3's p1 ⋈ p2 example).
+#ifndef ULOAD_REWRITE_PLAN_PATTERN_H_
+#define ULOAD_REWRITE_PLAN_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/logical_plan.h"
+#include "containment/embedding.h"
+#include "xam/xam.h"
+
+namespace uload {
+
+// Clones `x` with every node name (except ⊤) prefixed — plan attribute
+// names and pattern node names stay in sync across view combinations.
+Xam PrefixXamNames(const Xam& x, const std::string& prefix);
+
+// Copies the subtree of `src` rooted at `src_node` (inclusive) under
+// `dst_at` in `dst`, connected by `axis`/`variant`. Returns the new root's
+// id in dst.
+XamNodeId GraftSubtree(Xam* dst, XamNodeId dst_at, Axis axis,
+                       JoinVariant variant, const Xam& src,
+                       XamNodeId src_node);
+
+// Structural-join composition: pattern2's subtree at `n2` hangs below
+// pattern1's `n1` through a descendant edge. Returns nullopt when the result
+// would not be S-equivalent to the join plan (the grafted pattern's
+// annotations escape the sources' annotations).
+std::optional<Xam> ComposeStructural(const Xam& p1, XamNodeId n1,
+                                     const Xam& p2, XamNodeId n2,
+                                     const PathSummary& summary);
+
+// Node-identity (equality-join) composition: pattern2's node `n2` is the
+// same document node as pattern1's `n1`; n2's children subtrees merge under
+// n1 and the stored attributes union. Returns nullopt when invalid.
+std::optional<Xam> ComposeMerge(const Xam& p1, XamNodeId n1, const Xam& p2,
+                                XamNodeId n2, const PathSummary& summary);
+
+// Validation shared by the compositions: every node of `composed` that maps
+// to a node of a source pattern must keep an annotation within the source's
+// annotation for that node (no lost constraints). `src_of` maps composed
+// node -> (which source, source node), with -1 for chain-only nodes.
+bool AnnotationsPreserved(
+    const Xam& composed,
+    const std::vector<std::pair<int, XamNodeId>>& src_of,
+    const std::vector<const Xam*>& sources, const PathSummary& summary);
+
+}  // namespace uload
+
+#endif  // ULOAD_REWRITE_PLAN_PATTERN_H_

@@ -1,0 +1,836 @@
+#include "rewrite/rewriter.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "containment/containment.h"
+#include "opt/cost.h"
+#include "xam/xam_printer.h"
+
+namespace uload {
+namespace {
+
+// A (plan, pattern) pair plus bookkeeping during the search.
+struct Candidate {
+  PlanPtr plan;
+  Xam pattern;
+  // Pattern attribute (dotted path) -> plan column (dotted path). Only
+  // entries that differ from the identity are stored.
+  std::map<std::string, std::string> aliases;
+  std::vector<std::string> views;
+
+  std::string PlanColumn(const std::string& pattern_attr) const {
+    auto it = aliases.find(pattern_attr);
+    return it == aliases.end() ? pattern_attr : it->second;
+  }
+};
+
+// Dotted attribute path of `id`'s attribute with `suffix` in pattern `x`
+// (prefix of nested-collection entries above, including `id` itself when
+// its incoming edge is nested).
+std::string PatternAttr(const Xam& x, XamNodeId id, const char* suffix) {
+  std::string prefix;
+  std::vector<const std::string*> parts;
+  for (XamNodeId cur = id; cur != kXamRoot; cur = x.node(cur).parent) {
+    if (x.IncomingEdge(cur).nested()) parts.push_back(&x.node(cur).name);
+  }
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    prefix += **it;
+    prefix += '.';
+  }
+  return prefix + x.node(id).name + suffix;
+}
+
+// All (node, attr-suffix) pairs a pattern stores, in view-schema order.
+struct StoredAttr {
+  XamNodeId node;
+  const char* suffix;
+};
+
+void CollectStored(const Xam& x, XamNodeId id, std::vector<StoredAttr>* out) {
+  const XamNode& n = x.node(id);
+  if (id != kXamRoot) {
+    if (n.stores_id) out->push_back({id, "_ID"});
+    if (n.stores_tag) out->push_back({id, "_Tag"});
+    if (n.stores_val) out->push_back({id, "_Val"});
+    if (n.stores_cont) out->push_back({id, "_Cont"});
+  }
+  for (const XamEdge& e : n.edges) {
+    if (e.semi()) continue;
+    CollectStored(x, e.child, out);
+  }
+}
+
+bool IdKindAtLeast(IdKind kind, IdKind needed) {
+  return static_cast<int>(kind) >= static_cast<int>(needed);
+}
+
+// ---------------------------------------------------------------------------
+// The search engine.
+// ---------------------------------------------------------------------------
+
+class Search {
+ public:
+  Search(const PathSummary& summary, const std::vector<NamedXam>& views,
+         const RewriteOptions& opts, RewriteStats* stats)
+      : summary_(summary), views_(views), opts_(opts), stats_(stats) {}
+
+  Result<std::vector<Rewriting>> Run(const Xam& query) {
+    query_ = &query;
+    query_returns_ = query.ReturnNodes();
+    query_ann_ = PathAnnotations(query, summary_);
+
+    ULOAD_RETURN_NOT_OK(BuildSeeds());
+    PruneIrrelevantSeeds();
+    std::vector<Candidate> all = seeds_;
+    // Navigation extensions (§5.2/§5.4) on seeds first: cover query nodes
+    // absent from every view by navigating from stored identifiers; the
+    // extended candidates participate in compositions like any other.
+    if (opts_.use_navigation) {
+      size_t n = all.size();
+      for (size_t i = 0; i < n; ++i) {
+        auto extended = NavigationExtended(all[i]);
+        if (extended.has_value()) all.push_back(std::move(*extended));
+      }
+    }
+    std::vector<Candidate> level = all;
+    for (int k = 2; k <= opts_.max_views_per_plan &&
+                    all.size() < opts_.max_candidates;
+         ++k) {
+      std::vector<Candidate> next;
+      for (const Candidate& a : level) {
+        for (const Candidate& b : seeds_) {
+          if (all.size() + next.size() >= opts_.max_candidates) break;
+          Compose(a, b, &next);
+        }
+      }
+      for (Candidate& c : next) all.push_back(c);
+      level = std::move(next);
+      if (level.empty()) break;
+    }
+    // A final navigation pass over composed candidates.
+    if (opts_.use_navigation) {
+      size_t n = all.size();
+      for (size_t i = seeds_.size(); i < n && all.size() < opts_.max_candidates;
+           ++i) {
+        auto extended = NavigationExtended(all[i]);
+        if (extended.has_value()) all.push_back(std::move(*extended));
+      }
+    }
+    if (stats_ != nullptr) stats_->candidates_generated = all.size();
+
+    std::vector<Rewriting> results;
+    std::set<std::string> seen_plans;
+    for (const Candidate& c : all) {
+      ULOAD_RETURN_NOT_OK(TryAdaptations(c, &results, &seen_plans));
+      if (results.size() >= opts_.max_results) break;
+    }
+    if (opts_.allow_unions && results.empty()) {
+      ULOAD_RETURN_NOT_OK(TryUnions(all, &results, &seen_plans));
+    }
+    // Rank by the summary-derived cost estimate, breaking ties by plan
+    // size (the thesis's preference for minimal plans, §5.3).
+    auto view_card = [this](const std::string& name) {
+      for (const NamedXam& v : views_) {
+        if (v.name == name) return EstimateCardinality(v.xam, summary_);
+      }
+      return 1000.0;
+    };
+    for (Rewriting& r : results) {
+      r.estimated_cost =
+          EstimatePlanCost(*r.plan, summary_, view_card);
+    }
+    std::stable_sort(results.begin(), results.end(),
+                     [](const Rewriting& a, const Rewriting& b) {
+                       if (a.estimated_cost != b.estimated_cost) {
+                         return a.estimated_cost < b.estimated_cost;
+                       }
+                       return a.operator_count < b.operator_count;
+                     });
+    return results;
+  }
+
+ private:
+  // --- Seeds ---------------------------------------------------------------
+
+  Status BuildSeeds() {
+    int idx = 0;
+    for (const NamedXam& v : views_) {
+      std::string prefix = "v" + std::to_string(idx++) + "_";
+      Candidate c;
+      c.pattern = PrefixXamNames(v.xam, prefix);
+      if (!IsSatisfiable(c.pattern, summary_)) continue;
+      if (v.xam.HasRequired()) {
+        // R-marked views are indexes: they can only be accessed given
+        // bindings for the required attributes (Def. 2.2.6). Usable when
+        // the query pins every required value with an equality formula —
+        // the seed becomes an IndexScan with those constants (QEP11).
+        ULOAD_RETURN_NOT_OK(SeedIndexView(v, prefix));
+        continue;
+      }
+      c.plan = LogicalPlan::PrefixNames(LogicalPlan::Scan(v.name), prefix);
+      c.views = {v.name};
+      seeds_.push_back(std::move(c));
+    }
+    return Status::Ok();
+  }
+
+  // Builds an IndexScan seed for an R-marked view when the query provides
+  // equality constants for all required attributes.
+  Status SeedIndexView(const NamedXam& v, const std::string& prefix) {
+    Xam pattern = PrefixXamNames(v.xam, prefix);
+    std::vector<std::vector<SummaryNodeId>> view_ann =
+        PathAnnotations(pattern, summary_);
+    std::vector<std::pair<std::string, AtomicValue>> bindings;
+    for (XamNodeId id = 1; id < pattern.size(); ++id) {
+      XamNode& n = pattern.node(id);
+      if (n.id_required || n.tag_required) {
+        return Status::Ok();  // only value keys are matched against queries
+      }
+      if (!n.val_required) continue;
+      // Find a query node with a single-equality formula whose annotation
+      // lies within this view node's annotation.
+      bool pinned = false;
+      for (XamNodeId qn = 1; qn < query_->size(); ++qn) {
+        AtomicValue constant;
+        if (!query_->node(qn).val_formula.IsSingleEquality(&constant)) {
+          continue;
+        }
+        bool within = !query_ann_[qn].empty();
+        for (SummaryNodeId s : query_ann_[qn]) {
+          if (std::find(view_ann[id].begin(), view_ann[id].end(), s) ==
+              view_ann[id].end()) {
+            within = false;
+            break;
+          }
+        }
+        if (!within) continue;
+        // Pin: the pattern's node now carries the equality; the plan binds
+        // the index key. The view stored Val under this name (required
+        // attrs are materialized like stored ones).
+        n.val_required = false;
+        n.val_formula = n.val_formula.And(ValueFormula::Equals(constant));
+        bindings.emplace_back(
+            v.xam.node(v.xam.NodeByName(n.name.substr(prefix.size())))
+                    .name +
+                "_Val",
+            constant);
+        pinned = true;
+        break;
+      }
+      if (!pinned) return Status::Ok();  // key not fully bound: unusable
+    }
+    if (bindings.empty()) return Status::Ok();
+    Candidate c;
+    c.pattern = std::move(pattern);
+    c.plan = LogicalPlan::PrefixNames(
+        LogicalPlan::IndexScan(v.name, std::move(bindings)), prefix);
+    c.views = {v.name};
+    seeds_.push_back(std::move(c));
+    return Status::Ok();
+  }
+
+  // Discards views that cannot possibly contribute to the query: a view is
+  // relevant when some return-node annotation intersects the query nodes'
+  // annotations or their ancestors (ancestor views contribute identifiers
+  // for structural joins and navigation anchors).
+  void PruneIrrelevantSeeds() {
+    std::set<SummaryNodeId> interesting;
+    for (XamNodeId qn = 1; qn < query_->size(); ++qn) {
+      for (SummaryNodeId s : query_ann_[qn]) {
+        for (SummaryNodeId cur = s; cur > 0;
+             cur = summary_.node(cur).parent) {
+          interesting.insert(cur);
+        }
+      }
+    }
+    std::vector<Candidate> kept;
+    for (Candidate& c : seeds_) {
+      std::vector<std::vector<SummaryNodeId>> ann =
+          PathAnnotations(c.pattern, summary_);
+      bool relevant = false;
+      for (XamNodeId id : c.pattern.ReturnNodes()) {
+        for (SummaryNodeId s : ann[id]) {
+          if (interesting.count(s) != 0) {
+            relevant = true;
+            break;
+          }
+        }
+        if (relevant) break;
+      }
+      if (relevant) kept.push_back(std::move(c));
+    }
+    seeds_ = std::move(kept);
+  }
+
+  // --- Compositions (§5.5) -------------------------------------------------
+
+  // Re-prefixes a seed with a globally unique prefix so that the same view
+  // can participate several times in one plan without column-name clashes
+  // (names are load-bearing: they tie pattern nodes to plan columns).
+  Candidate Freshen(const Candidate& seed) {
+    std::string prefix = "u" + std::to_string(++fresh_counter_) + "_";
+    Candidate c;
+    c.pattern = PrefixXamNames(seed.pattern, prefix);
+    c.plan = LogicalPlan::PrefixNames(seed.plan, prefix);
+    c.views = seed.views;
+    for (const auto& [key, value] : seed.aliases) {
+      c.aliases.emplace(prefix + key, prefix + value);
+    }
+    return c;
+  }
+
+  void Compose(const Candidate& a, const Candidate& seed_b,
+               std::vector<Candidate>* out) {
+    // Avoid trivially redundant self-products of the same view set.
+    if (a.views.size() == 1 && seed_b.views.size() == 1 &&
+        a.views[0] == seed_b.views[0]) {
+      return;
+    }
+    const Candidate b = Freshen(seed_b);
+    // Right-side anchor: the topmost stored-id node n2 of b.
+    for (XamNodeId n2 = 1; n2 < b.pattern.size(); ++n2) {
+      const XamNode& bn = b.pattern.node(n2);
+      if (!bn.stores_id) continue;
+      if (b.pattern.NestingDepth(n2) != 0) continue;
+      for (XamNodeId n1 = 1; n1 < a.pattern.size(); ++n1) {
+        const XamNode& an = a.pattern.node(n1);
+        if (!an.stores_id) continue;
+        if (a.pattern.NestingDepth(n1) != 0) continue;
+        // (1) Structural join: both ids must decide ancestorship and share a
+        // representation.
+        if (opts_.use_structural_joins &&
+            IdKindAtLeast(an.id_kind, IdKind::kStructural) &&
+            IdKindAtLeast(bn.id_kind, IdKind::kStructural) &&
+            (an.id_kind == IdKind::kParental) ==
+                (bn.id_kind == IdKind::kParental)) {
+          auto composed =
+              ComposeStructural(a.pattern, n1, b.pattern, n2, summary_);
+          if (composed.has_value()) {
+            Candidate c;
+            c.pattern = std::move(*composed);
+            c.plan = LogicalPlan::StructuralJoin(
+                a.plan, b.plan, a.PlanColumn(PatternAttr(a.pattern, n1, "_ID")),
+                Axis::kDescendant,
+                b.PlanColumn(PatternAttr(b.pattern, n2, "_ID")),
+                JoinVariant::kInner);
+            MergeBookkeeping(a, b, &c);
+            out->push_back(std::move(c));
+          }
+        }
+        // (2) Node-identity join: equality on ids of any kind.
+        if (opts_.use_merge_joins) {
+          auto composed = ComposeMerge(a.pattern, n1, b.pattern, n2, summary_);
+          if (composed.has_value()) {
+            Candidate c;
+            c.pattern = std::move(*composed);
+            c.plan = LogicalPlan::ValueJoin(
+                a.plan, b.plan, a.PlanColumn(PatternAttr(a.pattern, n1, "_ID")),
+                Comparator::kEq,
+                b.PlanColumn(PatternAttr(b.pattern, n2, "_ID")),
+                JoinVariant::kInner);
+            MergeBookkeeping(a, b, &c);
+            // The merged node carries n1's name; attrs that only b stored
+            // must alias to b's plan columns.
+            const XamNode& merged = c.pattern.node(n1);
+            auto alias = [&](bool a_has, bool b_has, const char* suffix) {
+              if (!a_has && b_has) {
+                c.aliases[PatternAttr(c.pattern, n1, suffix)] =
+                    b.PlanColumn(PatternAttr(b.pattern, n2, suffix));
+              }
+            };
+            alias(an.stores_id, bn.stores_id, "_ID");
+            alias(an.stores_tag, bn.stores_tag, "_Tag");
+            alias(an.stores_val, bn.stores_val, "_Val");
+            alias(an.stores_cont, bn.stores_cont, "_Cont");
+            (void)merged;
+            out->push_back(std::move(c));
+          }
+        }
+        // (3) Ancestor derivation (§5.2): b's ids are navigational; derive
+        // the ancestor at n1's (unique) depth and join by equality — n1's
+        // ids only need equality.
+        if (opts_.use_parent_derivation &&
+            bn.id_kind == IdKind::kParental) {
+          std::vector<std::vector<SummaryNodeId>> ann =
+              PathAnnotations(a.pattern, summary_);
+          uint32_t depth = 0;
+          bool uniform = !ann[n1].empty();
+          for (SummaryNodeId s : ann[n1]) {
+            if (depth == 0) {
+              depth = summary_.node(s).depth;
+            } else if (summary_.node(s).depth != depth) {
+              uniform = false;
+              break;
+            }
+          }
+          // n1's ids must be Dewey too for the equality to be meaningful.
+          if (uniform && depth > 0 && an.id_kind == IdKind::kParental) {
+            auto composed =
+                ComposeStructural(a.pattern, n1, b.pattern, n2, summary_);
+            if (composed.has_value()) {
+              std::string derived =
+                  b.PlanColumn(PatternAttr(b.pattern, n2, "_ID")) + "_anc";
+              Candidate c;
+              c.pattern = std::move(*composed);
+              c.plan = LogicalPlan::ValueJoin(
+                  a.plan,
+                  LogicalPlan::DeriveParent(
+                      b.plan, b.PlanColumn(PatternAttr(b.pattern, n2, "_ID")),
+                      derived, depth),
+                  a.PlanColumn(PatternAttr(a.pattern, n1, "_ID")),
+                  Comparator::kEq, derived, JoinVariant::kInner);
+              MergeBookkeeping(a, b, &c);
+              out->push_back(std::move(c));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  static void MergeBookkeeping(const Candidate& a, const Candidate& b,
+                               Candidate* c) {
+    c->aliases = a.aliases;
+    c->aliases.insert(b.aliases.begin(), b.aliases.end());
+    c->views = a.views;
+    c->views.insert(c->views.end(), b.views.begin(), b.views.end());
+  }
+
+  // --- Adaptations (§5.3-5.4) ---------------------------------------------
+
+  Status TryAdaptations(const Candidate& base, std::vector<Rewriting>* results,
+                        std::set<std::string>* seen_plans) {
+    // Optional-edge strictification variants: consider the optional edges of
+    // the candidate; for each subset (bounded), make them strict and add a
+    // not-null selection.
+    std::vector<XamNodeId> optional_nodes;
+    for (XamNodeId id = 1; id < base.pattern.size(); ++id) {
+      if (base.pattern.IncomingEdge(id).optional()) {
+        optional_nodes.push_back(id);
+      }
+    }
+    size_t subsets = optional_nodes.size() <= 3
+                         ? (1u << optional_nodes.size())
+                         : 2;  // all-lax and all-strict only
+    for (size_t mask = 0; mask < subsets; ++mask) {
+      Candidate c = base;
+      bool valid = true;
+      for (size_t i = 0; i < optional_nodes.size(); ++i) {
+        bool strict = subsets == 2 ? (mask == 1)
+                                   : ((mask >> i) & 1) != 0;
+        if (!strict) continue;
+        XamNodeId node = optional_nodes[i];
+        // Strictify the pattern edge; the plan filters out null tuples.
+        XamNode& parent = c.pattern.node(c.pattern.node(node).parent);
+        for (XamEdge& e : parent.edges) {
+          if (e.child != node) continue;
+          e.variant = e.variant == JoinVariant::kNestOuter
+                          ? JoinVariant::kNestJoin
+                          : JoinVariant::kInner;
+        }
+        // Need a stored attribute to test for null.
+        const XamNode& n = c.pattern.node(node);
+        const char* suffix = n.stores_id     ? "_ID"
+                             : n.stores_val  ? "_Val"
+                             : n.stores_cont ? "_Cont"
+                             : n.stores_tag  ? "_Tag"
+                                             : nullptr;
+        if (suffix == nullptr) {
+          valid = false;
+          break;
+        }
+        c.plan = LogicalPlan::Select(
+            c.plan, Predicate::NotNull(
+                        c.PlanColumn(PatternAttr(c.pattern, node, suffix))));
+      }
+      if (!valid) continue;
+      ULOAD_RETURN_NOT_OK(TryAssignments(c, results, seen_plans));
+      if (results->size() >= opts_.max_results) return Status::Ok();
+    }
+    return Status::Ok();
+  }
+
+  // Order-preserving injective assignments of query return nodes to pattern
+  // return nodes.
+  Status TryAssignments(const Candidate& base, std::vector<Rewriting>* results,
+                        std::set<std::string>* seen_plans) {
+    std::vector<XamNodeId> cand_returns = base.pattern.ReturnNodes();
+    if (cand_returns.size() < query_returns_.size()) return Status::Ok();
+    std::vector<std::vector<SummaryNodeId>> cand_ann =
+        PathAnnotations(base.pattern, summary_);
+
+    // Feasibility of pairing query return i with candidate return j.
+    auto feasible = [&](size_t qi, size_t cj) {
+      const XamNode& qn = query_->node(query_returns_[qi]);
+      const XamNode& cn = base.pattern.node(cand_returns[cj]);
+      if (qn.stores_id &&
+          (!cn.stores_id || !IdKindAtLeast(cn.id_kind, qn.id_kind))) {
+        return false;
+      }
+      if (qn.stores_tag && !cn.stores_tag) return false;
+      if (qn.stores_val && !cn.stores_val) return false;
+      if (qn.stores_cont && !cn.stores_cont) return false;
+      // Annotations must intersect.
+      const auto& qa = query_ann_[query_returns_[qi]];
+      const auto& ca = cand_ann[cand_returns[cj]];
+      for (SummaryNodeId s : qa) {
+        if (std::find(ca.begin(), ca.end(), s) != ca.end()) return true;
+      }
+      return false;
+    };
+
+    std::vector<int> assign(query_returns_.size(), -1);
+    size_t emitted = 0;
+    std::function<Status(size_t, size_t)> rec =
+        [&](size_t qi, size_t from) -> Status {
+      if (results->size() >= opts_.max_results || emitted >= 4) {
+        return Status::Ok();
+      }
+      if (qi == query_returns_.size()) {
+        ++emitted;
+        return FinishAssignment(base, assign, results, seen_plans);
+      }
+      for (size_t cj = from; cj < cand_returns.size(); ++cj) {
+        if (!feasible(qi, cj)) continue;
+        assign[qi] = static_cast<int>(cj);
+        ULOAD_RETURN_NOT_OK(rec(qi + 1, cj + 1));
+        assign[qi] = -1;
+      }
+      return Status::Ok();
+    };
+    return rec(0, 0);
+  }
+
+  Status FinishAssignment(const Candidate& base, const std::vector<int>& assign,
+                          std::vector<Rewriting>* results,
+                          std::set<std::string>* seen_plans) {
+    if (stats_ != nullptr) stats_->adaptations_tried++;
+    Candidate c = base;
+    std::vector<XamNodeId> cand_returns = c.pattern.ReturnNodes();
+
+    // 1. Compensating value selections: query formulas absent from the
+    //    candidate are enforced on stored values of the matching node when
+    //    possible. Match query formula nodes against candidate nodes by
+    //    annotation inclusion.
+    std::vector<std::vector<SummaryNodeId>> cand_ann =
+        PathAnnotations(c.pattern, summary_);
+    for (XamNodeId qn = 1; qn < query_->size(); ++qn) {
+      const ValueFormula& f = query_->node(qn).val_formula;
+      if (f.IsTrue()) continue;
+      // Find a candidate node storing Val whose annotation covers the query
+      // node's annotation.
+      for (XamNodeId cn = 1; cn < c.pattern.size(); ++cn) {
+        if (!c.pattern.node(cn).stores_val) continue;
+        if (c.pattern.NestingDepth(cn) != 0) continue;
+        if (!c.pattern.node(cn).val_formula.IsTrue()) continue;
+        bool covers = true;
+        for (SummaryNodeId s : query_ann_[qn]) {
+          if (std::find(cand_ann[cn].begin(), cand_ann[cn].end(), s) ==
+              cand_ann[cn].end()) {
+            covers = false;
+            break;
+          }
+        }
+        if (!covers) continue;
+        c.pattern.ValPredicate(cn, c.pattern.node(cn).val_formula.And(f));
+        c.plan = LogicalPlan::Select(
+            c.plan,
+            f.ToPredicate(c.PlanColumn(PatternAttr(c.pattern, cn, "_Val"))));
+        break;
+      }
+    }
+
+    // 2. Trim the pattern: assigned return nodes keep exactly the query's
+    //    attributes; all other stored attributes are dropped.
+    std::vector<bool> keep_node(c.pattern.size(), false);
+    std::vector<std::string> proj_cols;
+    std::vector<std::pair<std::string, std::string>> attr_map;
+    for (size_t qi = 0; qi < assign.size(); ++qi) {
+      XamNodeId cn = cand_returns[assign[qi]];
+      XamNodeId qn = query_returns_[qi];
+      keep_node[cn] = true;
+      XamNode& node = c.pattern.node(cn);
+      const XamNode& qnode = query_->node(qn);
+      node.stores_id = qnode.stores_id;
+      node.stores_tag = qnode.stores_tag;
+      node.stores_val = qnode.stores_val;
+      node.stores_cont = qnode.stores_cont;
+    }
+    for (XamNodeId id = 1; id < c.pattern.size(); ++id) {
+      if (keep_node[id]) continue;
+      XamNode& node = c.pattern.node(id);
+      node.stores_id = false;
+      node.stores_tag = false;
+      node.stores_val = false;
+      node.stores_cont = false;
+    }
+    // Projection columns in the trimmed pattern's schema order.
+    std::vector<StoredAttr> stored;
+    CollectStored(c.pattern, kXamRoot, &stored);
+    for (const StoredAttr& sa : stored) {
+      proj_cols.push_back(
+          c.PlanColumn(PatternAttr(c.pattern, sa.node, sa.suffix)));
+    }
+    // Map query attrs to plan columns.
+    {
+      std::vector<StoredAttr> qstored;
+      CollectStored(*query_, kXamRoot, &qstored);
+      if (qstored.size() != stored.size()) return Status::Ok();  // mismatch
+      for (size_t i = 0; i < stored.size(); ++i) {
+        attr_map.emplace_back(
+            PatternAttr(*query_, qstored[i].node, qstored[i].suffix),
+            c.PlanColumn(PatternAttr(c.pattern, stored[i].node,
+                                     stored[i].suffix)));
+      }
+    }
+    if (!proj_cols.empty()) {
+      // Pattern semantics are sets of return tuples (the duplicate
+      // eliminating Π of Def. 2.2.3); the plan must match.
+      c.plan = LogicalPlan::Project(c.plan, proj_cols, /*dedup=*/true);
+    }
+
+    // 3. Verify S-equivalence with the query pattern.
+    if (stats_ != nullptr) stats_->equivalence_checks++;
+    ULOAD_ASSIGN_OR_RETURN(bool equiv,
+                           AreEquivalent(c.pattern, *query_, summary_));
+    if (!equiv) return Status::Ok();
+
+    std::string key = c.plan->ToString();
+    if (!seen_plans->insert(key).second) return Status::Ok();
+    Rewriting r;
+    r.plan = c.plan;
+    r.pattern = c.pattern;
+    r.attr_map = std::move(attr_map);
+    r.views_used = c.views;
+    r.operator_count = c.plan->OperatorCount();
+    results->push_back(std::move(r));
+    return Status::Ok();
+  }
+
+  // --- Navigation (§5.2/§5.4) ----------------------------------------------
+
+  // Greedily covers query return nodes that no candidate return node can
+  // serve, by appending Navigate steps from a stored identifier whose
+  // annotation dominates the missing node's annotation. Returns nullopt if
+  // some missing node cannot be covered or nothing was missing.
+  std::optional<Candidate> NavigationExtended(const Candidate& base) {
+    std::vector<XamNodeId> cand_returns = base.pattern.ReturnNodes();
+    std::vector<std::vector<SummaryNodeId>> cand_ann =
+        PathAnnotations(base.pattern, summary_);
+
+    auto feasible = [&](XamNodeId qn, XamNodeId cn) {
+      const XamNode& q = query_->node(qn);
+      const XamNode& c = base.pattern.node(cn);
+      if (q.stores_id &&
+          (!c.stores_id || !IdKindAtLeast(c.id_kind, q.id_kind))) {
+        return false;
+      }
+      if (q.stores_tag && !c.stores_tag) return false;
+      if (q.stores_val && !c.stores_val) return false;
+      if (q.stores_cont && !c.stores_cont) return false;
+      for (SummaryNodeId s : query_ann_[qn]) {
+        if (std::find(cand_ann[cn].begin(), cand_ann[cn].end(), s) !=
+            cand_ann[cn].end()) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    Candidate c = base;
+    bool extended = false;
+    for (XamNodeId qr : query_returns_) {
+      bool covered = false;
+      for (XamNodeId cr : cand_returns) {
+        if (feasible(qr, cr)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      // Find an anchor: a top-level id-storing node whose annotation
+      // dominates (is an ancestor of) every path of the missing node.
+      XamNodeId anchor = -1;
+      for (XamNodeId cn = 1; cn < c.pattern.size(); ++cn) {
+        const XamNode& n = c.pattern.node(cn);
+        if (!n.stores_id || c.pattern.NestingDepth(cn) != 0) continue;
+        bool dominates = !query_ann_[qr].empty();
+        for (SummaryNodeId target : query_ann_[qr]) {
+          bool any = false;
+          for (SummaryNodeId s : cand_ann[cn]) {
+            if (summary_.IsAncestor(s, target)) {
+              any = true;
+              break;
+            }
+          }
+          if (!any) {
+            dominates = false;
+            break;
+          }
+        }
+        if (dominates) {
+          anchor = cn;
+          break;
+        }
+      }
+      if (anchor < 0) return std::nullopt;
+      const XamNode& q = query_->node(qr);
+      std::string name = "nav" + std::to_string(++nav_counter_);
+      JoinVariant variant = query_->IncomingEdge(qr).variant;
+      // Pattern side: new node under the anchor via a descendant edge.
+      XamNodeId added = c.pattern.AddNode(anchor, Axis::kDescendant,
+                                          q.tag_value, variant, name);
+      XamNode& an = c.pattern.node(added);
+      an.is_attribute = q.is_attribute;
+      an.stores_id = q.stores_id;
+      an.id_kind = q.id_kind;
+      an.stores_tag = q.stores_tag;
+      an.stores_val = q.stores_val;
+      an.stores_cont = q.stores_cont;
+      an.val_formula = q.val_formula;
+      // Plan side: Navigate with matching emission and variant.
+      NavEmit emit;
+      emit.id = q.stores_id;
+      emit.tag = q.stores_tag;
+      emit.val = q.stores_val;
+      emit.cont = q.stores_cont;
+      emit.id_kind = q.id_kind;
+      emit.prefix = name;
+      c.plan = LogicalPlan::Navigate(
+          c.plan, c.PlanColumn(PatternAttr(c.pattern, anchor, "_ID")),
+          {NavStep{Axis::kDescendant, q.tag_value}}, emit, variant);
+      extended = true;
+    }
+    if (!extended) return std::nullopt;
+    return c;
+  }
+
+  // --- Unions (§5.3) -------------------------------------------------------
+
+  Status TryUnions(const std::vector<Candidate>& all,
+                   std::vector<Rewriting>* results,
+                   std::set<std::string>* seen_plans) {
+    // Collect candidates strictly contained in the query whose trimmed
+    // schemas line up with the query's needs (single-assignment trim).
+    struct Piece {
+      Candidate cand;
+      Xam trimmed;
+      PlanPtr plan;
+    };
+    std::vector<Piece> pieces;
+    for (const Candidate& base : all) {
+      std::vector<XamNodeId> cand_returns = base.pattern.ReturnNodes();
+      if (cand_returns.size() != query_returns_.size()) continue;
+      Candidate c = base;
+      bool ok = true;
+      std::vector<std::string> proj_cols;
+      for (size_t i = 0; i < query_returns_.size(); ++i) {
+        XamNode& node = c.pattern.node(cand_returns[i]);
+        const XamNode& qnode = query_->node(query_returns_[i]);
+        if ((qnode.stores_id && !node.stores_id) ||
+            (qnode.stores_tag && !node.stores_tag) ||
+            (qnode.stores_val && !node.stores_val) ||
+            (qnode.stores_cont && !node.stores_cont)) {
+          ok = false;
+          break;
+        }
+        node.stores_id = qnode.stores_id;
+        node.stores_tag = qnode.stores_tag;
+        node.stores_val = qnode.stores_val;
+        node.stores_cont = qnode.stores_cont;
+      }
+      if (!ok) continue;
+      std::vector<StoredAttr> stored;
+      CollectStored(c.pattern, kXamRoot, &stored);
+      for (const StoredAttr& sa : stored) {
+        proj_cols.push_back(
+            c.PlanColumn(PatternAttr(c.pattern, sa.node, sa.suffix)));
+      }
+      ULOAD_ASSIGN_OR_RETURN(bool contained,
+                             IsContained(c.pattern, *query_, summary_));
+      if (!contained) continue;
+      Piece piece;
+      piece.cand = c;
+      piece.trimmed = c.pattern;
+      piece.plan = proj_cols.empty()
+                       ? c.plan
+                       : LogicalPlan::Project(c.plan, proj_cols,
+                                              /*dedup=*/true);
+      pieces.push_back(std::move(piece));
+      if (pieces.size() > 12) break;  // bounded
+    }
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      for (size_t j = i + 1; j < pieces.size(); ++j) {
+        if (stats_ != nullptr) stats_->equivalence_checks++;
+        ULOAD_ASSIGN_OR_RETURN(
+            bool covered,
+            IsContainedInUnion(*query_,
+                               {&pieces[i].trimmed, &pieces[j].trimmed},
+                               summary_));
+        if (!covered) continue;
+        PlanPtr plan = LogicalPlan::Union(pieces[i].plan, pieces[j].plan);
+        std::string key = plan->ToString();
+        if (!seen_plans->insert(key).second) continue;
+        Rewriting r;
+        r.plan = plan;
+        r.pattern = *query_;  // the union is equivalent to the query pattern
+        std::vector<StoredAttr> qstored;
+        CollectStored(*query_, kXamRoot, &qstored);
+        std::vector<StoredAttr> cstored;
+        CollectStored(pieces[i].trimmed, kXamRoot, &cstored);
+        for (size_t k = 0; k < qstored.size() && k < cstored.size(); ++k) {
+          r.attr_map.emplace_back(
+              PatternAttr(*query_, qstored[k].node, qstored[k].suffix),
+              pieces[i].cand.PlanColumn(PatternAttr(
+                  pieces[i].trimmed, cstored[k].node, cstored[k].suffix)));
+        }
+        r.views_used = pieces[i].cand.views;
+        r.views_used.insert(r.views_used.end(), pieces[j].cand.views.begin(),
+                            pieces[j].cand.views.end());
+        r.operator_count = plan->OperatorCount();
+        results->push_back(std::move(r));
+        if (results->size() >= opts_.max_results) return Status::Ok();
+      }
+    }
+    return Status::Ok();
+  }
+
+  const PathSummary& summary_;
+  const std::vector<NamedXam>& views_;
+  const RewriteOptions& opts_;
+  RewriteStats* stats_;
+
+  const Xam* query_ = nullptr;
+  std::vector<XamNodeId> query_returns_;
+  std::vector<std::vector<SummaryNodeId>> query_ann_;
+  std::vector<Candidate> seeds_;
+  int nav_counter_ = 0;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+Rewriter::Rewriter(const PathSummary* summary, std::vector<NamedXam> views)
+    : summary_(summary), views_(std::move(views)) {}
+
+Result<std::vector<Rewriting>> Rewriter::Rewrite(const Xam& query,
+                                                 const RewriteOptions& opts,
+                                                 RewriteStats* stats) const {
+  Search search(*summary_, views_, opts, stats);
+  return search.Run(query);
+}
+
+Result<Rewriting> Rewriter::RewriteBest(const Xam& query,
+                                        const RewriteOptions& opts,
+                                        RewriteStats* stats) const {
+  ULOAD_ASSIGN_OR_RETURN(std::vector<Rewriting> all,
+                         Rewrite(query, opts, stats));
+  if (all.empty()) {
+    return Status::NotFound("no equivalent rewriting found");
+  }
+  return all[0];
+}
+
+}  // namespace uload

@@ -1,0 +1,84 @@
+// Rewriting query XAMs using materialized XAM views under summary
+// constraints (thesis Ch. 5).
+//
+// Generate-and-test search over (plan, pattern) pairs:
+//  * seeds: one pair per view (names prefixed to stay unique);
+//  * compositions (§5.5): structural joins between views with structural
+//    ids, node-identity (equality) joins, and ancestor-derivation joins for
+//    navigational (Dewey) ids — each validated by annotation preservation;
+//  * adaptations (§5.3-5.4): compensating value selections, strictification
+//    of optional edges (σ not-null), navigation from stored identifiers to
+//    uncovered query nodes, and a final projection aligning the plan's
+//    columns with the query pattern's needs;
+//  * verification: S-equivalence of the adapted pattern with the query
+//    pattern (Ch. 4 containment, both ways);
+//  * unions (§5.3): pairs of strictly-contained candidates whose union is
+//    S-equivalent to the query.
+#ifndef ULOAD_REWRITE_REWRITER_H_
+#define ULOAD_REWRITE_REWRITER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rewrite/plan_pattern.h"
+#include "storage/storage_models.h"
+#include "summary/path_summary.h"
+
+namespace uload {
+
+struct RewriteOptions {
+  int max_views_per_plan = 3;
+  size_t max_candidates = 4000;
+  size_t max_results = 16;
+  bool use_structural_joins = true;
+  bool use_merge_joins = true;
+  bool use_parent_derivation = true;
+  bool use_navigation = true;
+  bool allow_unions = true;
+};
+
+struct RewriteStats {
+  size_t candidates_generated = 0;
+  size_t adaptations_tried = 0;
+  size_t equivalence_checks = 0;
+};
+
+struct Rewriting {
+  PlanPtr plan;  // over view names; columns projected to the query's needs
+  Xam pattern;   // S-equivalent to the plan AND to the query pattern
+  // Query attribute (dotted path in the query pattern's view schema) ->
+  // column (dotted path) in the plan's output.
+  std::vector<std::pair<std::string, std::string>> attr_map;
+  std::vector<std::string> views_used;
+  int operator_count = 0;
+  // Summary-derived cost estimate (opt/cost.h); the primary ranking key.
+  double estimated_cost = 0;
+};
+
+class Rewriter {
+ public:
+  // `views` are the storage XAMs the optimizer knows about (the catalog
+  // contents); the summary provides the structural constraints.
+  Rewriter(const PathSummary* summary, std::vector<NamedXam> views);
+
+  // All equivalent rewritings found for `query`, cheapest (fewest operators)
+  // first. Empty result = no rewriting exists within the search bounds.
+  Result<std::vector<Rewriting>> Rewrite(const Xam& query,
+                                         const RewriteOptions& opts = {},
+                                         RewriteStats* stats = nullptr) const;
+
+  // Convenience: the cheapest rewriting or NotFound.
+  Result<Rewriting> RewriteBest(const Xam& query,
+                                const RewriteOptions& opts = {},
+                                RewriteStats* stats = nullptr) const;
+
+ private:
+  const PathSummary* summary_;
+  std::vector<NamedXam> views_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_REWRITE_REWRITER_H_

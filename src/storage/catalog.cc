@@ -1,0 +1,54 @@
+#include "storage/catalog.h"
+
+namespace uload {
+
+Status Catalog::Add(MaterializedView view) {
+  if (Find(view.name()) != nullptr) {
+    return Status::InvalidArgument("duplicate view name '" + view.name() +
+                                   "'");
+  }
+  views_.push_back(std::make_unique<MaterializedView>(std::move(view)));
+  return Status::Ok();
+}
+
+Status Catalog::AddXam(std::string name, Xam definition, const Document& doc) {
+  ULOAD_ASSIGN_OR_RETURN(
+      MaterializedView v,
+      MaterializedView::Materialize(std::move(name), std::move(definition),
+                                    doc));
+  return Add(std::move(v));
+}
+
+const MaterializedView* Catalog::Find(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (v->name() == name) return v.get();
+  }
+  return nullptr;
+}
+
+EvalContext Catalog::MakeEvalContext(const Document* doc) const {
+  EvalContext ctx;
+  for (const auto& v : views_) {
+    ctx.relations.emplace(v->name(), &v->data());
+  }
+  ctx.document = doc;
+  ctx.index_lookup =
+      [this](const std::string& name,
+             const std::vector<std::pair<std::string, AtomicValue>>& bindings)
+      -> Result<NestedRelation> {
+    const MaterializedView* v = Find(name);
+    if (v == nullptr) {
+      return Status::NotFound("no view named '" + name + "'");
+    }
+    return v->Lookup(bindings);
+  };
+  return ctx;
+}
+
+int64_t Catalog::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& v : views_) total += v->ApproximateBytes();
+  return total;
+}
+
+}  // namespace uload

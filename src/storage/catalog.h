@@ -1,0 +1,39 @@
+// The catalog of persistent storage structures: the set of XAMs (and their
+// materializations) the optimizer knows about. Changing the storage means
+// changing this set only — the physical-data-independence contract.
+#ifndef ULOAD_STORAGE_CATALOG_H_
+#define ULOAD_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/evaluator.h"
+#include "storage/store.h"
+
+namespace uload {
+
+class Catalog {
+ public:
+  Status Add(MaterializedView view);
+  // Defines and materializes in one step.
+  Status AddXam(std::string name, Xam definition, const Document& doc);
+
+  const MaterializedView* Find(const std::string& name) const;
+  const std::vector<std::unique_ptr<MaterializedView>>& views() const {
+    return views_;
+  }
+
+  // Evaluation context binding every view's data by name, with an index
+  // lookup hook for R-marked views, and `doc` for Navigate operators.
+  EvalContext MakeEvalContext(const Document* doc) const;
+
+  int64_t TotalBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<MaterializedView>> views_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_STORAGE_CATALOG_H_

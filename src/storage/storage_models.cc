@@ -1,0 +1,256 @@
+#include "storage/storage_models.h"
+
+#include <set>
+
+namespace uload {
+namespace {
+
+// Short helper: new XAM whose nodes are named <prefix>_n1, <prefix>_n2...
+class Builder {
+ public:
+  explicit Builder(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  XamNodeId Add(XamNodeId parent, Axis axis, const std::string& label,
+                JoinVariant variant = JoinVariant::kInner) {
+    return xam_.AddNode(parent, axis, label, variant, NextName());
+  }
+  XamNodeId AddAttr(XamNodeId parent, const std::string& name,
+                    JoinVariant variant = JoinVariant::kInner) {
+    return xam_.AddAttributeNode(parent, name, variant, NextName());
+  }
+  Xam& xam() { return xam_; }
+  Xam Take() { return std::move(xam_); }
+
+ private:
+  std::string NextName() {
+    return prefix_ + "_n" + std::to_string(++counter_);
+  }
+  std::string prefix_;
+  Xam xam_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+std::vector<NamedXam> EdgeModel() {
+  // edge(source, target, ordinal, name): parent id + child id + child tag.
+  Builder edge("edge");
+  XamNodeId parent = edge.Add(kXamRoot, Axis::kDescendant, "");
+  edge.xam().StoreId(parent, IdKind::kOrdered);
+  XamNodeId child = edge.Add(parent, Axis::kChild, "");
+  edge.xam().StoreId(child, IdKind::kOrdered).StoreTag(child);
+
+  // value(vID, value).
+  Builder value("edge_value");
+  XamNodeId node = value.Add(kXamRoot, Axis::kDescendant, "");
+  value.xam().StoreId(node, IdKind::kOrdered).StoreVal(node);
+
+  // Attribute edges.
+  Builder attr("edge_attr");
+  XamNodeId p2 = attr.Add(kXamRoot, Axis::kDescendant, "");
+  attr.xam().StoreId(p2, IdKind::kOrdered);
+  XamNodeId a2 = attr.AddAttr(p2, "");
+  attr.xam().StoreId(a2, IdKind::kOrdered).StoreTag(a2).StoreVal(a2);
+
+  std::vector<NamedXam> out;
+  out.push_back({"edge", edge.Take()});
+  out.push_back({"edge_value", value.Take()});
+  out.push_back({"edge_attr", attr.Take()});
+  return out;
+}
+
+std::vector<NamedXam> UniversalModel(const PathSummary& summary) {
+  std::set<std::string> tags;
+  for (SummaryNodeId id : summary.ElementNodes()) {
+    if (id != summary.root()) tags.insert(summary.node(id).label);
+  }
+  Builder b("universal");
+  XamNodeId parent = b.Add(kXamRoot, Axis::kDescendant, "");
+  b.xam().StoreId(parent, IdKind::kOrdered).StoreTag(parent);
+  for (const std::string& tag : tags) {
+    XamNodeId c = b.Add(parent, Axis::kChild, tag, JoinVariant::kLeftOuter);
+    b.xam().StoreId(c, IdKind::kOrdered).StoreVal(c);
+  }
+  return {{"universal", b.Take()}};
+}
+
+std::vector<NamedXam> NodeTableModel() {
+  // main(ID, parentID, kind, nameID) ~ parent/child pairs over simple ids,
+  // with the child's tag and value as data.
+  Builder main("node_main");
+  XamNodeId parent = main.Add(kXamRoot, Axis::kDescendant, "");
+  main.xam().StoreId(parent, IdKind::kSimple);
+  XamNodeId child = main.Add(parent, Axis::kChild, "");
+  main.xam().StoreId(child, IdKind::kSimple).StoreTag(child);
+
+  Builder text("node_text");
+  XamNodeId n = text.Add(kXamRoot, Axis::kDescendant, "");
+  text.xam().StoreId(n, IdKind::kSimple).StoreVal(n);
+
+  Builder attrs("node_attr");
+  XamNodeId p = attrs.Add(kXamRoot, Axis::kDescendant, "");
+  attrs.xam().StoreId(p, IdKind::kSimple);
+  XamNodeId a = attrs.AddAttr(p, "");
+  attrs.xam().StoreId(a, IdKind::kSimple).StoreTag(a).StoreVal(a);
+
+  std::vector<NamedXam> out;
+  out.push_back({"node_main", main.Take()});
+  out.push_back({"node_text", text.Take()});
+  out.push_back({"node_attr", attrs.Take()});
+  return out;
+}
+
+std::vector<NamedXam> StructuralIdModel() {
+  Builder main("sid_main");
+  XamNodeId n = main.Add(kXamRoot, Axis::kDescendant, "");
+  main.xam().StoreId(n, IdKind::kStructural).StoreTag(n).StoreVal(n);
+
+  Builder attrs("sid_attr");
+  XamNodeId p = attrs.Add(kXamRoot, Axis::kDescendant, "");
+  attrs.xam().StoreId(p, IdKind::kStructural);
+  XamNodeId a = attrs.AddAttr(p, "");
+  attrs.xam().StoreId(a, IdKind::kStructural).StoreTag(a).StoreVal(a);
+
+  std::vector<NamedXam> out;
+  out.push_back({"sid_main", main.Take()});
+  out.push_back({"sid_attr", attrs.Take()});
+  return out;
+}
+
+std::vector<NamedXam> TagPartitionedModel(const PathSummary& summary) {
+  std::set<std::string> tags;
+  std::set<std::string> attr_names;
+  for (SummaryNodeId id = 1; id < summary.size(); ++id) {
+    const SummaryNode& sn = summary.node(id);
+    if (sn.kind == NodeKind::kElement) {
+      tags.insert(sn.label);
+    } else if (sn.kind == NodeKind::kAttribute) {
+      attr_names.insert(sn.label.substr(1));  // drop '@'
+    }
+  }
+  std::vector<NamedXam> out;
+  for (const std::string& tag : tags) {
+    Builder b("tag_" + tag);
+    XamNodeId n = b.Add(kXamRoot, Axis::kDescendant, tag);
+    b.xam().StoreId(n, IdKind::kStructural).StoreVal(n);
+    out.push_back({"tag_" + tag, b.Take()});
+  }
+  for (const std::string& name : attr_names) {
+    Builder b("tagattr_" + name);
+    XamNodeId p = b.Add(kXamRoot, Axis::kDescendant, "");
+    b.xam().StoreId(p, IdKind::kStructural);
+    XamNodeId a = b.AddAttr(p, name);
+    b.xam().StoreId(a, IdKind::kStructural).StoreVal(a);
+    out.push_back({"tagattr_" + name, b.Take()});
+  }
+  return out;
+}
+
+std::vector<NamedXam> PathPartitionedModel(const PathSummary& summary) {
+  std::vector<NamedXam> out;
+  for (SummaryNodeId id = 1; id < summary.size(); ++id) {
+    const SummaryNode& sn = summary.node(id);
+    if (sn.kind == NodeKind::kText) continue;
+    std::string name = "path" + std::to_string(id);
+    Builder b(name);
+    // Chain of [Tag=c] nodes from the root to this path.
+    std::vector<SummaryNodeId> chain;
+    for (SummaryNodeId cur = id; cur > 0; cur = summary.node(cur).parent) {
+      chain.push_back(cur);
+    }
+    XamNodeId at = kXamRoot;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const SummaryNode& step = summary.node(*it);
+      if (step.kind == NodeKind::kAttribute) {
+        at = b.AddAttr(at, step.label.substr(1));
+      } else {
+        at = b.Add(at, Axis::kChild, step.label);
+      }
+    }
+    b.xam().StoreId(at, IdKind::kStructural).StoreVal(at);
+    out.push_back({name, b.Take()});
+  }
+  return out;
+}
+
+std::vector<NamedXam> InlinedShreddingModel(const PathSummary& summary) {
+  std::vector<NamedXam> out;
+  for (SummaryNodeId id = 1; id < summary.size(); ++id) {
+    const SummaryNode& sn = summary.node(id);
+    if (sn.kind != NodeKind::kElement) continue;
+    std::string name = "rel" + std::to_string(id);
+    Builder b(name);
+    std::vector<SummaryNodeId> chain;
+    for (SummaryNodeId cur = id; cur > 0; cur = summary.node(cur).parent) {
+      chain.push_back(cur);
+    }
+    XamNodeId at = kXamRoot;
+    XamNodeId parent_node = kXamRoot;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      parent_node = at;
+      at = b.Add(at, Axis::kChild, summary.node(*it).label);
+    }
+    // The relational foreign key: the immediate parent's id column.
+    if (parent_node != kXamRoot) {
+      b.xam().StoreId(parent_node, IdKind::kOrdered);
+    }
+    b.xam().StoreId(at, IdKind::kOrdered);
+    // Leaf elements carry their own value (the relational column holding
+    // the element text).
+    bool has_text_child = false;
+    for (SummaryNodeId c : summary.node(id).children) {
+      if (summary.node(c).kind == NodeKind::kText) has_text_child = true;
+    }
+    if (has_text_child) b.xam().StoreVal(at);
+    // Inline 1-annotated children's values (single, always present) and
+    // attribute values.
+    for (SummaryNodeId c : summary.node(id).children) {
+      const SummaryNode& cn = summary.node(c);
+      if (cn.kind == NodeKind::kAttribute) {
+        XamNodeId a = b.AddAttr(at, cn.label.substr(1),
+                                JoinVariant::kLeftOuter);
+        b.xam().StoreVal(a);
+      } else if (cn.kind == NodeKind::kElement &&
+                 cn.annotation == EdgeAnnotation::kOne &&
+                 summary.node(c).children.size() <= 1) {
+        XamNodeId e = b.Add(at, Axis::kChild, cn.label);
+        b.xam().StoreVal(e);
+      }
+    }
+    out.push_back({name, b.Take()});
+  }
+  return out;
+}
+
+NamedXam NonFragmentedStore(const std::string& label) {
+  std::string name = "blob_" + label;
+  Builder b(name);
+  XamNodeId n = b.Add(kXamRoot, Axis::kDescendant, label);
+  b.xam().StoreId(n, IdKind::kStructural).StoreCont(n);
+  return {name, b.Take()};
+}
+
+NamedXam ValueIndex(const std::string& element_label,
+                    const std::vector<std::string>& key_child_labels) {
+  std::string name = "idx_" + element_label;
+  for (const std::string& k : key_child_labels) name += "_" + k;
+  Builder b(name);
+  XamNodeId e = b.Add(kXamRoot, Axis::kDescendant, element_label);
+  b.xam().StoreId(e, IdKind::kStructural);
+  for (const std::string& k : key_child_labels) {
+    XamNodeId c = b.Add(e, Axis::kChild, k);
+    b.xam().StoreVal(c, /*required=*/true);
+  }
+  return {name, b.Take()};
+}
+
+NamedXam TIndex(const std::string& anc_label, const std::string& ret_label) {
+  std::string name = "tidx_" + anc_label + "_" + ret_label;
+  Builder b(name);
+  XamNodeId a = b.Add(kXamRoot, Axis::kDescendant, anc_label);
+  XamNodeId r = b.Add(a, Axis::kDescendant, ret_label);
+  b.xam().StoreId(r, IdKind::kStructural).StoreVal(r);
+  return {name, b.Take()};
+}
+
+}  // namespace uload

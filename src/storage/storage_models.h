@@ -1,0 +1,72 @@
+// XAM descriptions of the storage models surveyed in thesis §2.1/§2.3:
+// relational shreddings (Edge, Universal, Shared/Hybrid-style inlining),
+// native stores (node table, structural-id table, tag partitioning, path
+// partitioning), non-fragmented content storage, and value indexes. Each
+// builder returns the XAM set describing that storage scheme; registering
+// the set in a Catalog is all the optimizer needs to use it (§2.1.4).
+#ifndef ULOAD_STORAGE_STORAGE_MODELS_H_
+#define ULOAD_STORAGE_STORAGE_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "summary/path_summary.h"
+#include "xam/xam.h"
+
+namespace uload {
+
+struct NamedXam {
+  std::string name;
+  Xam xam;
+};
+
+// Node names inside every XAM are prefixed with the view name so that a
+// whole model can be registered without clashes.
+
+// Edge model [48]: one tuple per parent-child pair; (ordered) simple ids,
+// child tag as data, values in a separate structure.
+std::vector<NamedXam> EdgeModel();
+
+// Universal-table flavor: the parent node outerjoined with one optional
+// child per distinct tag of the summary.
+std::vector<NamedXam> UniversalModel(const PathSummary& summary);
+
+// Native model #1 (Galax-style): a node table with parent ids and a value
+// table — modeled as parent/child XAMs over simple ids.
+std::vector<NamedXam> NodeTableModel();
+
+// Native model #2: one collection of all elements with structural ids, tag
+// and value as data.
+std::vector<NamedXam> StructuralIdModel();
+
+// Native model #3 (Timber/Natix-style): structural-id collections
+// partitioned by element tag (plus attribute collections).
+std::vector<NamedXam> TagPartitionedModel(const PathSummary& summary);
+
+// Native model #4 (XQueC/early-Monet-style): collections partitioned by
+// rooted path, using [Tag=c] chains (the "preferred representation" of
+// Fig. 2.14(b)); leaves also store values.
+std::vector<NamedXam> PathPartitionedModel(const PathSummary& summary);
+
+// Hybrid/Shared-style inlining: for every element path, one view storing
+// the element's id plus the values of its 1-annotated (single, always
+// present) children — the DTD-driven inlining of [105] expressed on the
+// summary.
+std::vector<NamedXam> InlinedShreddingModel(const PathSummary& summary);
+
+// Non-fragmented storage of `label` elements: id + full serialized content
+// (§2.1.1 "coarse granularity").
+NamedXam NonFragmentedStore(const std::string& label);
+
+// Composite-key index: `element_label` ids retrievable by the values of the
+// given (required) child labels — booksByYearTitle-style (§2.1.2).
+NamedXam ValueIndex(const std::string& element_label,
+                    const std::vector<std::string>& key_child_labels);
+
+// A T-index-style materialized view: ids and values of `ret_label` nodes
+// below `anc_label` nodes (§2.3.3).
+NamedXam TIndex(const std::string& anc_label, const std::string& ret_label);
+
+}  // namespace uload
+
+#endif  // ULOAD_STORAGE_STORAGE_MODELS_H_

@@ -1,0 +1,131 @@
+#include "storage/store.h"
+
+namespace uload {
+namespace {
+
+std::string KeyOf(const Tuple& t, const std::vector<int>& attrs) {
+  std::string key;
+  for (int a : attrs) {
+    key += t.fields[a].atom().ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+int64_t TupleBytes(const Tuple& t) {
+  int64_t bytes = 0;
+  for (const Field& f : t.fields) {
+    if (f.is_collection()) {
+      for (const Tuple& sub : f.collection()) bytes += TupleBytes(sub);
+    } else {
+      const AtomicValue& v = f.atom();
+      if (v.is_string()) {
+        bytes += static_cast<int64_t>(v.as_string().size());
+      } else {
+        bytes += 12;  // id triple / number
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<MaterializedView> MaterializedView::Materialize(std::string name,
+                                                       Xam definition,
+                                                       const Document& doc) {
+  MaterializedView v;
+  v.name_ = std::move(name);
+  ULOAD_ASSIGN_OR_RETURN(v.data_, EvaluateXam(definition, doc));
+  v.definition_ = std::move(definition);
+
+  // Build the index over required *top-level* attributes.
+  const Schema& schema = v.data_.schema();
+  for (XamNodeId id = 1; id < v.definition_.size(); ++id) {
+    const XamNode& n = v.definition_.node(id);
+    auto add = [&](const std::string& suffix) {
+      int idx = schema.IndexOf(n.name + suffix);
+      if (idx >= 0 && !schema.attr(idx).is_collection) {
+        v.index_attrs_.push_back(idx);
+      }
+    };
+    if (n.id_required) add("_ID");
+    if (n.tag_required) add("_Tag");
+    if (n.val_required) add("_Val");
+  }
+  if (!v.index_attrs_.empty()) {
+    for (int64_t i = 0; i < v.data_.size(); ++i) {
+      v.index_[KeyOf(v.data_.tuple(i), v.index_attrs_)].push_back(i);
+    }
+  }
+  return v;
+}
+
+Result<NestedRelation> MaterializedView::Lookup(
+    const std::vector<std::pair<std::string, AtomicValue>>& bindings) const {
+  NestedRelation out(data_.schema_ptr(), data_.kind());
+  // Fast path: bindings cover exactly the indexed attributes.
+  if (!index_attrs_.empty() && bindings.size() == index_attrs_.size()) {
+    std::vector<AtomicValue> key_vals(index_attrs_.size());
+    bool exact = true;
+    for (const auto& [attr, val] : bindings) {
+      int idx = data_.schema().IndexOf(attr);
+      bool placed = false;
+      for (size_t k = 0; k < index_attrs_.size(); ++k) {
+        if (index_attrs_[k] == idx) {
+          key_vals[k] = val;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        exact = false;
+        break;
+      }
+    }
+    if (exact) {
+      std::string key;
+      for (const AtomicValue& v : key_vals) {
+        key += v.ToString();
+        key += '\x1f';
+      }
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        for (int64_t i : it->second) out.Add(data_.tuple(i));
+      }
+      return out;
+    }
+  }
+  // Generic path: scan with equality filtering (nested attributes use
+  // existential matching).
+  for (const Tuple& t : data_.tuples()) {
+    bool keep = true;
+    for (const auto& [attr, val] : bindings) {
+      auto path = ResolveAttrPath(data_.schema(), attr);
+      if (!path.ok()) return path.status();
+      std::vector<AtomicValue> atoms;
+      CollectAtomsAt(t, data_.schema(), *path, 0, &atoms);
+      bool any = false;
+      for (const AtomicValue& a : atoms) {
+        if (a == val) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.Add(t);
+  }
+  return out;
+}
+
+int64_t MaterializedView::ApproximateBytes() const {
+  int64_t bytes = 0;
+  for (const Tuple& t : data_.tuples()) bytes += TupleBytes(t);
+  return bytes;
+}
+
+}  // namespace uload

@@ -1,0 +1,53 @@
+// Materialized XAMs: a storage structure / index / view described by a XAM
+// (thesis Ch. 2) together with its extent over a document, and — for
+// R-marked XAMs — an access-path index over the required attributes.
+#ifndef ULOAD_STORAGE_STORE_H_
+#define ULOAD_STORAGE_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/relation.h"
+#include "common/status.h"
+#include "eval/xam_eval.h"
+#include "xam/xam.h"
+#include "xml/document.h"
+
+namespace uload {
+
+class MaterializedView {
+ public:
+  // Evaluates `definition` over `doc` and builds the index when the XAM has
+  // R markers (full data is kept: Def. 2.2.6 semantics are computed against
+  // [[χ⁰]] restricted by the bindings).
+  static Result<MaterializedView> Materialize(std::string name,
+                                              Xam definition,
+                                              const Document& doc);
+
+  const std::string& name() const { return name_; }
+  const Xam& definition() const { return definition_; }
+  const NestedRelation& data() const { return data_; }
+  bool access_restricted() const { return definition_.HasRequired(); }
+
+  // Access for R-marked views: equality bindings over required top-level
+  // attributes (attr name -> constant). Uses the hash index when all bound
+  // attributes are top-level atoms.
+  Result<NestedRelation> Lookup(
+      const std::vector<std::pair<std::string, AtomicValue>>& bindings) const;
+
+  // Storage footprint estimate in bytes (benchmark reporting).
+  int64_t ApproximateBytes() const;
+
+ private:
+  std::string name_;
+  Xam definition_;
+  NestedRelation data_;
+  // Index: concatenated key over required top-level attrs -> tuple indices.
+  std::vector<int> index_attrs_;
+  std::unordered_map<std::string, std::vector<int64_t>> index_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_STORAGE_STORE_H_

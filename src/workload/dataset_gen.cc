@@ -1,0 +1,204 @@
+#include "workload/dataset_gen.h"
+
+#include <string>
+
+namespace uload {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint32_t seed) : state_(seed == 0 ? 1 : seed) {}
+  uint32_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 17;
+    state_ ^= state_ << 5;
+    return state_;
+  }
+  int Uniform(int n) { return static_cast<int>(Next() % n); }
+  bool Chance(int percent) { return Uniform(100) < percent; }
+
+ private:
+  uint32_t state_;
+};
+
+struct Ctx {
+  Document doc;
+  Rng rng;
+  explicit Ctx(uint32_t seed) : rng(seed) {}
+
+  NodeIndex Elem(NodeIndex parent, const std::string& tag) {
+    return doc.AddNode(NodeKind::kElement, tag, "", parent);
+  }
+  void Leaf(NodeIndex parent, const std::string& tag,
+            const std::string& text) {
+    doc.AddNode(NodeKind::kText, "#text", text,
+                doc.AddNode(NodeKind::kElement, tag, "", parent));
+  }
+  void Attr(NodeIndex parent, const std::string& name,
+            const std::string& value) {
+    doc.AddNode(NodeKind::kAttribute, name, value, parent);
+  }
+};
+
+}  // namespace
+
+Document GenerateShakespeareLike(int plays, uint32_t seed) {
+  Ctx c(seed);
+  NodeIndex root = c.Elem(c.doc.document_node(), "plays");
+  for (int p = 0; p < plays; ++p) {
+    NodeIndex play = c.Elem(root, "PLAY");
+    c.Leaf(play, "TITLE", "Play " + std::to_string(p));
+    NodeIndex fm = c.Elem(play, "FM");
+    c.Leaf(fm, "P", "Public domain text");
+    NodeIndex personae = c.Elem(play, "PERSONAE");
+    c.Leaf(personae, "TITLE", "Dramatis Personae");
+    for (int i = 0; i < 6 + c.rng.Uniform(6); ++i) {
+      c.Leaf(personae, "PERSONA", "Character " + std::to_string(i));
+    }
+    if (c.rng.Chance(60)) {
+      NodeIndex group = c.Elem(personae, "PGROUP");
+      c.Leaf(group, "PERSONA", "Twin A");
+      c.Leaf(group, "PERSONA", "Twin B");
+      c.Leaf(group, "GRPDESCR", "twins");
+    }
+    c.Leaf(play, "SCNDESCR", "SCENE Elsinore.");
+    c.Leaf(play, "PLAYSUBT", "Subtitle");
+    for (int a = 0; a < 3 + c.rng.Uniform(3); ++a) {
+      NodeIndex act = c.Elem(play, "ACT");
+      c.Leaf(act, "TITLE", "ACT " + std::to_string(a + 1));
+      for (int s = 0; s < 2 + c.rng.Uniform(4); ++s) {
+        NodeIndex scene = c.Elem(act, "SCENE");
+        c.Leaf(scene, "TITLE", "SCENE " + std::to_string(s + 1));
+        if (c.rng.Chance(70)) c.Leaf(scene, "STAGEDIR", "Enter GHOST");
+        for (int sp = 0; sp < 4 + c.rng.Uniform(10); ++sp) {
+          NodeIndex speech = c.Elem(scene, "SPEECH");
+          c.Leaf(speech, "SPEAKER", "Character " + std::to_string(
+                                        c.rng.Uniform(8)));
+          for (int l = 0; l < 1 + c.rng.Uniform(5); ++l) {
+            c.Leaf(speech, "LINE", "To be or not to be, line " +
+                                       std::to_string(l));
+          }
+          if (c.rng.Chance(20)) c.Leaf(speech, "STAGEDIR", "Aside");
+        }
+      }
+    }
+  }
+  c.doc.Finalize();
+  return std::move(c.doc);
+}
+
+Document GenerateNasaLike(int datasets, uint32_t seed) {
+  Ctx c(seed);
+  NodeIndex root = c.Elem(c.doc.document_node(), "datasets");
+  for (int d = 0; d < datasets; ++d) {
+    NodeIndex ds = c.Elem(root, "dataset");
+    c.Attr(ds, "subject", "astronomy");
+    c.Attr(ds, "xmlns", "http://nasa.example");
+    NodeIndex title = c.Elem(ds, "title");
+    c.doc.AddNode(NodeKind::kText, "#text", "Catalog " + std::to_string(d),
+                  title);
+    c.Leaf(ds, "altname", "ADC A" + std::to_string(d));
+    NodeIndex reference = c.Elem(ds, "reference");
+    NodeIndex source = c.Elem(reference, "source");
+    NodeIndex other = c.Elem(source, "other");
+    c.Leaf(other, "title", "Original publication");
+    NodeIndex author = c.Elem(other, "author");
+    NodeIndex name = c.Elem(author, "name");
+    c.Leaf(name, "last", "Doe");
+    if (c.rng.Chance(60)) c.Leaf(name, "initial", "J");
+    c.Leaf(other, "name", "Journal of Stars");
+    c.Leaf(other, "publisher", "ADC");
+    c.Leaf(other, "city", "Greenbelt");
+    c.Leaf(other, "date", "1999");
+    NodeIndex keywords = c.Elem(ds, "keywords");
+    c.Attr(keywords, "parentListURL", "http://nasa.example/kw");
+    for (int k = 0; k < 1 + c.rng.Uniform(4); ++k) {
+      c.Leaf(keywords, "keyword", "star" + std::to_string(k));
+    }
+    NodeIndex descriptions = c.Elem(ds, "descriptions");
+    NodeIndex description = c.Elem(descriptions, "description");
+    NodeIndex para = c.Elem(description, "para");
+    c.doc.AddNode(NodeKind::kText, "#text", "Observations of stars.", para);
+    if (c.rng.Chance(40)) {
+      NodeIndex details = c.Elem(descriptions, "details");
+      c.Leaf(details, "para", "More details.");
+    }
+    NodeIndex identifier = c.Elem(ds, "identifier");
+    c.doc.AddNode(NodeKind::kText, "#text", "A" + std::to_string(d),
+                  identifier);
+    NodeIndex tableHead = c.Elem(ds, "tableHead");
+    for (int f = 0; f < 2 + c.rng.Uniform(5); ++f) {
+      NodeIndex field = c.Elem(tableHead, "field");
+      c.Leaf(field, "name", "col" + std::to_string(f));
+      if (c.rng.Chance(50)) c.Leaf(field, "units", "mag");
+      if (c.rng.Chance(50)) c.Leaf(field, "definition", "brightness");
+    }
+    NodeIndex history = c.Elem(ds, "history");
+    for (int h = 0; h < 1 + c.rng.Uniform(2); ++h) {
+      NodeIndex ingest = c.Elem(history, "ingest");
+      c.Leaf(ingest, "creator", "archivist");
+      c.Leaf(ingest, "date", "2000-01-01");
+    }
+  }
+  c.doc.Finalize();
+  return std::move(c.doc);
+}
+
+Document GenerateSwissProtLike(int entries, uint32_t seed) {
+  Ctx c(seed);
+  NodeIndex root = c.Elem(c.doc.document_node(), "sptr");
+  for (int e = 0; e < entries; ++e) {
+    NodeIndex entry = c.Elem(root, "Entry");
+    c.Attr(entry, "id", "P" + std::to_string(10000 + e));
+    c.Attr(entry, "class", "STANDARD");
+    c.Attr(entry, "mtype", "PRT");
+    c.Attr(entry, "seqlen", std::to_string(100 + c.rng.Uniform(900)));
+    c.Leaf(entry, "AC", "P" + std::to_string(10000 + e));
+    NodeIndex mod = c.Elem(entry, "Mod");
+    c.Attr(mod, "date", "01-JAN-2000");
+    c.Attr(mod, "Rel", "39");
+    c.Attr(mod, "type", "Created");
+    c.Leaf(entry, "Descr", "Protein " + std::to_string(e));
+    if (c.rng.Chance(70)) c.Leaf(entry, "Species", "Homo sapiens");
+    if (c.rng.Chance(50)) c.Leaf(entry, "Org", "Eukaryota");
+    for (int r = 0; r < 1 + c.rng.Uniform(3); ++r) {
+      NodeIndex ref = c.Elem(entry, "Ref");
+      c.Attr(ref, "num", std::to_string(r + 1));
+      c.Attr(ref, "pos", "SEQUENCE");
+      c.Leaf(ref, "Comment", "PARTIAL SEQUENCE");
+      NodeIndex db = c.Elem(ref, "DB");
+      c.doc.AddNode(NodeKind::kText, "#text", "MEDLINE", db);
+      NodeIndex medline = c.Elem(ref, "MedlineID");
+      c.doc.AddNode(NodeKind::kText, "#text",
+                    std::to_string(90000000 + c.rng.Uniform(999999)), medline);
+      for (int a = 0; a < 1 + c.rng.Uniform(4); ++a) {
+        c.Leaf(ref, "Author", "Author" + std::to_string(a));
+      }
+      c.Leaf(ref, "Cite", "J. Biol. " + std::to_string(c.rng.Uniform(300)));
+    }
+    for (int k = 0; k < c.rng.Uniform(4); ++k) {
+      c.Leaf(entry, "Keyword", "kw" + std::to_string(c.rng.Uniform(20)));
+    }
+    NodeIndex features = c.Elem(entry, "Features");
+    const char* ftypes[] = {"DOMAIN", "BINDING", "SIGNAL", "CHAIN", "HELIX",
+                            "STRAND", "TURN", "SITE", "VARIANT", "CONFLICT"};
+    for (int f = 0; f < 1 + c.rng.Uniform(6); ++f) {
+      NodeIndex feat = c.Elem(features, ftypes[c.rng.Uniform(10)]);
+      c.Attr(feat, "from", std::to_string(c.rng.Uniform(100)));
+      c.Attr(feat, "to", std::to_string(100 + c.rng.Uniform(100)));
+      if (c.rng.Chance(60)) c.Leaf(feat, "Descr", "descr");
+    }
+    for (int x = 0; x < 1 + c.rng.Uniform(3); ++x) {
+      const char* banks[] = {"EMBL", "PIR", "PDB", "PROSITE", "INTERPRO"};
+      NodeIndex xref = c.Elem(entry, banks[c.rng.Uniform(5)]);
+      c.Attr(xref, "prim_id", "X" + std::to_string(c.rng.Uniform(99999)));
+      if (c.rng.Chance(50)) {
+        c.Attr(xref, "sec_id", "Y" + std::to_string(c.rng.Uniform(99999)));
+      }
+    }
+  }
+  c.doc.Finalize();
+  return std::move(c.doc);
+}
+
+}  // namespace uload

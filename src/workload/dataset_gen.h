@@ -1,0 +1,21 @@
+// Generators reproducing the structural profile of the other Fig. 4.13
+// datasets (Shakespeare plays, NASA astronomical records, SwissProt
+// entries). Only the path structure matters: the summaries come out in the
+// same relative size order as the thesis reports (Shakespeare < Nasa <
+// SwissProt < XMark).
+#ifndef ULOAD_WORKLOAD_DATASET_GEN_H_
+#define ULOAD_WORKLOAD_DATASET_GEN_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace uload {
+
+Document GenerateShakespeareLike(int plays = 4, uint32_t seed = 3);
+Document GenerateNasaLike(int datasets = 50, uint32_t seed = 5);
+Document GenerateSwissProtLike(int entries = 120, uint32_t seed = 11);
+
+}  // namespace uload
+
+#endif  // ULOAD_WORKLOAD_DATASET_GEN_H_

@@ -1,0 +1,94 @@
+#include "workload/dblp.h"
+
+#include <string>
+
+namespace uload {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint32_t seed) : state_(seed == 0 ? 1 : seed) {}
+  uint32_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 17;
+    state_ ^= state_ << 5;
+    return state_;
+  }
+  int Uniform(int n) { return static_cast<int>(Next() % n); }
+  bool Chance(int percent) { return Uniform(100) < percent; }
+
+ private:
+  uint32_t state_;
+};
+
+const char* kAuthors[] = {"S. Abiteboul", "D. Suciu",  "I. Manolescu",
+                          "A. Arion",     "V. Benzaken", "P. Valduriez",
+                          "S. Amer-Yahia", "N. Bidoit",  "M. Stonebraker",
+                          "J. Gray"};
+const char* kVenues[] = {"VLDB", "SIGMOD", "ICDE", "EDBT", "PODS"};
+const char* kTitleWords[] = {"XML",      "query",   "rewriting", "views",
+                             "indexing", "storage", "patterns",  "summaries",
+                             "algebra",  "database"};
+
+}  // namespace
+
+Document GenerateDblp(const DblpOptions& opts) {
+  Rng rng(opts.seed);
+  Document doc;
+  NodeIndex dblp = doc.AddNode(NodeKind::kElement, "dblp", "",
+                               doc.document_node());
+  auto leaf = [&](NodeIndex parent, const std::string& tag,
+                  const std::string& text) {
+    NodeIndex e = doc.AddNode(NodeKind::kElement, tag, "", parent);
+    doc.AddNode(NodeKind::kText, "#text", text, e);
+  };
+  for (int i = 0; i < opts.records; ++i) {
+    const char* kinds[] = {"article", "inproceedings", "book", "phdthesis"};
+    // Articles and inproceedings dominate real DBLP.
+    int pick = rng.Uniform(10);
+    const char* kind = pick < 4   ? kinds[0]
+                       : pick < 8 ? kinds[1]
+                       : pick < 9 ? kinds[2]
+                                  : kinds[3];
+    NodeIndex rec = doc.AddNode(NodeKind::kElement, kind, "", dblp);
+    doc.AddNode(NodeKind::kAttribute, "key",
+                std::string(kind) + "/" + std::to_string(i), rec);
+    int authors = 1 + rng.Uniform(3);
+    for (int a = 0; a < authors; ++a) {
+      leaf(rec, "author", kAuthors[rng.Uniform(10)]);
+    }
+    std::string title;
+    int words = 3 + rng.Uniform(4);
+    for (int w = 0; w < words; ++w) {
+      title += std::string(kTitleWords[rng.Uniform(10)]) + " ";
+    }
+    leaf(rec, "title", title);
+    leaf(rec, "year", std::to_string(1995 + rng.Uniform(12)));
+    if (std::string(kind) == "article") {
+      leaf(rec, "journal", "TODS");
+      if (rng.Chance(70)) leaf(rec, "volume", std::to_string(rng.Uniform(30)));
+      if (rng.Chance(70)) leaf(rec, "number", std::to_string(rng.Uniform(6)));
+    }
+    if (std::string(kind) == "inproceedings") {
+      leaf(rec, "booktitle", kVenues[rng.Uniform(5)]);
+    }
+    if (std::string(kind) == "phdthesis") {
+      leaf(rec, "school", "Universite Paris Sud");
+    }
+    if (rng.Chance(60)) leaf(rec, "pages", "100-110");
+    if (rng.Chance(50)) leaf(rec, "ee", "http://doi.example/" +
+                                            std::to_string(i));
+    if (rng.Chance(40)) leaf(rec, "url", "db/journals/x" +
+                                             std::to_string(i));
+    if (std::string(kind) == "article" || std::string(kind) == "book") {
+      int cites = rng.Uniform(3);
+      for (int c = 0; c < cites; ++c) {
+        leaf(rec, "cite", "ref" + std::to_string(rng.Uniform(opts.records)));
+      }
+    }
+  }
+  doc.Finalize();
+  return doc;
+}
+
+}  // namespace uload

@@ -1,0 +1,23 @@
+// DBLP-like bibliographic document generator: flat records (article,
+// inproceedings, book, phdthesis, ...) with author+/title/year and a few
+// optional fields — the small, regular summary shape of Fig. 4.13's DBLP
+// rows (the thesis's DBLP'02/'05 summaries have 41-47 nodes).
+#ifndef ULOAD_WORKLOAD_DBLP_H_
+#define ULOAD_WORKLOAD_DBLP_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace uload {
+
+struct DblpOptions {
+  int records = 500;
+  uint32_t seed = 7;
+};
+
+Document GenerateDblp(const DblpOptions& opts = {});
+
+}  // namespace uload
+
+#endif  // ULOAD_WORKLOAD_DBLP_H_

@@ -1,0 +1,114 @@
+#include "workload/pattern_gen.h"
+
+#include <algorithm>
+
+namespace uload {
+
+PatternGenerator::PatternGenerator(const PathSummary* summary, uint32_t seed)
+    : summary_(summary), state_(seed == 0 ? 0xdeadbeef : seed) {}
+
+uint32_t PatternGenerator::Next() {
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 17;
+  state_ ^= state_ << 5;
+  return state_;
+}
+
+int PatternGenerator::Uniform(int n) {
+  return n <= 0 ? 0 : static_cast<int>(Next() % n);
+}
+
+bool PatternGenerator::Chance(int percent) { return Uniform(100) < percent; }
+
+Xam PatternGenerator::Generate(const PatternGenOptions& opts) {
+  const PathSummary& s = *summary_;
+
+  // Every pattern node is generated together with a witness summary node,
+  // so satisfiability holds by construction.
+  struct GenNode {
+    XamNodeId id;
+    SummaryNodeId witness;
+    int children = 0;
+  };
+
+  Xam x;
+  std::vector<GenNode> nodes;
+
+  auto add_node = [&](XamNodeId parent, SummaryNodeId witness_parent,
+                      SummaryNodeId witness, bool force_descendant) {
+    bool is_child = s.node(witness).parent == witness_parent;
+    Axis axis = (!is_child || force_descendant ||
+                 Chance(opts.descendant_percent))
+                    ? Axis::kDescendant
+                    : Axis::kChild;
+    // Only non-child witnesses *require* //.
+    if (!is_child) axis = Axis::kDescendant;
+    JoinVariant variant = Chance(opts.optional_percent)
+                              ? JoinVariant::kLeftOuter
+                              : JoinVariant::kInner;
+    std::string label = s.node(witness).label;
+    if (Chance(opts.wildcard_percent)) label.clear();
+    XamNodeId id;
+    if (s.node(witness).kind == NodeKind::kAttribute) {
+      id = x.AddAttributeNode(parent, label.empty() ? "" : label.substr(1),
+                              variant);
+      // Attribute wildcard nodes keep is_attribute set.
+    } else {
+      id = x.AddNode(parent, axis, label, variant);
+    }
+    if (Chance(opts.predicate_percent)) {
+      x.ValPredicate(id, ValueFormula::Equals(AtomicValue::Number(
+                             Uniform(opts.distinct_values))));
+    }
+    nodes.push_back(GenNode{id, witness, 0});
+    return id;
+  };
+
+  // Root chain: pick the first return label's witness and create its node
+  // directly under ⊤ (descendant edge keeps it satisfiable).
+  std::vector<SummaryNodeId> anchors;
+  for (int r = 0; r < opts.return_nodes; ++r) {
+    const std::string& label =
+        opts.return_labels[r % opts.return_labels.size()];
+    const auto& cands = s.NodesWithLabel(label);
+    if (!cands.empty()) anchors.push_back(cands[Uniform(cands.size())]);
+  }
+  if (anchors.empty()) anchors.push_back(s.root());
+
+  // First anchor hangs from ⊤; later anchors hang from the deepest common
+  // structure — for simplicity from ⊤ as well (strict edges so the tuples
+  // stay related through the root).
+  std::vector<XamNodeId> return_ids;
+  for (SummaryNodeId anchor : anchors) {
+    XamNodeId id = x.AddNode(kXamRoot, Axis::kDescendant,
+                             s.node(anchor).label, JoinVariant::kInner);
+    x.StoreId(id);
+    x.StoreVal(id);
+    nodes.push_back(GenNode{id, anchor, 0});
+    return_ids.push_back(id);
+  }
+
+  // Grow to the requested size.
+  int guard = 0;
+  while (static_cast<int>(nodes.size()) < opts.nodes && ++guard < 1000) {
+    GenNode& host = nodes[Uniform(nodes.size())];
+    if (host.children >= opts.fanout) continue;
+    if (x.node(host.id).is_attribute) continue;  // attributes are leaves
+    // Candidate witnesses: children (preferred) or descendants.
+    std::vector<SummaryNodeId> cands;
+    for (SummaryNodeId c : s.node(host.witness).children) {
+      if (s.node(c).kind != NodeKind::kText) cands.push_back(c);
+    }
+    if (cands.empty() || Chance(30)) {
+      std::vector<SummaryNodeId> desc = s.Descendants(host.witness, "");
+      if (!desc.empty()) cands.push_back(desc[Uniform(desc.size())]);
+    }
+    if (cands.empty()) continue;
+    SummaryNodeId witness = cands[Uniform(cands.size())];
+    add_node(host.id, host.witness, witness, false);
+    host.children++;
+  }
+  return x;
+}
+
+}  // namespace uload

@@ -1,0 +1,50 @@
+// Random satisfiable pattern generator, following the synthetic-workload
+// recipe of thesis §4.6: patterns of n nodes grown over a given summary
+// (guaranteeing satisfiability), node fanout ≤ 3, wildcard probability 0.1,
+// value-predicate probability 0.2 over 10 distinct constants, // probability
+// 0.5, optional-edge probability 0.5, and r return nodes with fixed labels.
+#ifndef ULOAD_WORKLOAD_PATTERN_GEN_H_
+#define ULOAD_WORKLOAD_PATTERN_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "summary/path_summary.h"
+#include "xam/xam.h"
+
+namespace uload {
+
+struct PatternGenOptions {
+  int nodes = 6;          // total non-⊤ nodes
+  int return_nodes = 1;   // r ∈ {1, 2, 3} in the thesis runs
+  // Labels the return nodes are pinned to ("to avoid patterns returning
+  // unrelated nodes"); must exist in the summary.
+  std::vector<std::string> return_labels = {"item", "name", "keyword"};
+  int fanout = 3;
+  int wildcard_percent = 10;
+  int predicate_percent = 20;
+  int descendant_percent = 50;
+  int optional_percent = 50;
+  int distinct_values = 10;
+};
+
+class PatternGenerator {
+ public:
+  PatternGenerator(const PathSummary* summary, uint32_t seed);
+
+  // Generates one satisfiable pattern; return nodes store ID and Val.
+  Xam Generate(const PatternGenOptions& opts);
+
+ private:
+  const PathSummary* summary_;
+  uint32_t state_;
+
+  uint32_t Next();
+  int Uniform(int n);
+  bool Chance(int percent);
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_WORKLOAD_PATTERN_GEN_H_

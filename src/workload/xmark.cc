@@ -1,0 +1,298 @@
+#include "workload/xmark.h"
+
+#include <string>
+#include <vector>
+
+namespace uload {
+namespace {
+
+// Deterministic xorshift PRNG (benchmarks must be reproducible).
+class Rng {
+ public:
+  explicit Rng(uint32_t seed) : state_(seed == 0 ? 0x9e3779b9u : seed) {}
+  uint32_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 17;
+    state_ ^= state_ << 5;
+    return state_;
+  }
+  int Uniform(int n) { return static_cast<int>(Next() % n); }
+  bool Chance(int percent) { return Uniform(100) < percent; }
+
+ private:
+  uint32_t state_;
+};
+
+const char* kWords[] = {"quick", "brown", "vintage", "rare",   "mint",
+                        "fast",  "red",   "large",   "gold",   "silver",
+                        "old",   "new",   "antique", "signed", "boxed"};
+const char* kNames[] = {"Smith", "Jones", "Garcia", "Mueller", "Tanaka",
+                        "Lopez", "Kumar", "Chen",   "Dubois",  "Rossi"};
+const char* kCities[] = {"Paris", "Tokyo", "Berlin", "Lima", "Oslo"};
+
+std::string Word(Rng* rng) { return kWords[rng->Uniform(15)]; }
+
+class Generator {
+ public:
+  explicit Generator(const XMarkOptions& opts) : opts_(opts), rng_(opts.seed) {}
+
+  Document Run() {
+    NodeIndex site = Elem(doc_.document_node(), "site");
+    Regions(site);
+    People(site);
+    OpenAuctions(site);
+    ClosedAuctions(site);
+    Categories(site);
+    doc_.Finalize();
+    return std::move(doc_);
+  }
+
+ private:
+  NodeIndex Elem(NodeIndex parent, const std::string& tag) {
+    return doc_.AddNode(NodeKind::kElement, tag, "", parent);
+  }
+  void Attr(NodeIndex parent, const std::string& name,
+            const std::string& value) {
+    doc_.AddNode(NodeKind::kAttribute, name, value, parent);
+  }
+  void Text(NodeIndex parent, const std::string& text) {
+    doc_.AddNode(NodeKind::kText, "#text", text, parent);
+  }
+  void Leaf(NodeIndex parent, const std::string& tag,
+            const std::string& text) {
+    Text(Elem(parent, tag), text);
+  }
+
+  // Marked-up text: words interleaved with bold/keyword/emph wrappers.
+  void MarkedText(NodeIndex parent, int words) {
+    std::string plain;
+    for (int i = 0; i < words; ++i) {
+      int c = rng_.Uniform(10);
+      if (c < 6) {
+        plain += Word(&rng_) + " ";
+        continue;
+      }
+      if (!plain.empty()) {
+        Text(parent, plain);
+        plain.clear();
+      }
+      const char* tag = c == 6 ? "bold" : (c == 7 ? "keyword" : "emph");
+      Leaf(parent, tag, Word(&rng_));
+    }
+    if (!plain.empty()) Text(parent, plain);
+  }
+
+  void Parlist(NodeIndex parent, int depth) {
+    NodeIndex parlist = Elem(parent, "parlist");
+    int items = 1 + rng_.Uniform(3);
+    for (int i = 0; i < items; ++i) {
+      NodeIndex listitem = Elem(parlist, "listitem");
+      if (depth > 1 && rng_.Chance(30)) {
+        Parlist(listitem, depth - 1);
+      } else {
+        NodeIndex text = Elem(listitem, "text");
+        MarkedText(text, 4 + rng_.Uniform(8));
+      }
+    }
+  }
+
+  void Description(NodeIndex parent) {
+    NodeIndex description = Elem(parent, "description");
+    if (rng_.Chance(60)) {
+      Parlist(description, opts_.max_parlist_depth);
+    } else {
+      NodeIndex text = Elem(description, "text");
+      MarkedText(text, 6 + rng_.Uniform(10));
+    }
+  }
+
+  void Item(NodeIndex region, int id) {
+    NodeIndex item = Elem(region, "item");
+    Attr(item, "id", "item" + std::to_string(id));
+    if (rng_.Chance(20)) Attr(item, "featured", "yes");
+    Leaf(item, "location", kCities[rng_.Uniform(5)]);
+    Leaf(item, "quantity", std::to_string(1 + rng_.Uniform(5)));
+    Leaf(item, "name", Word(&rng_) + " " + Word(&rng_));
+    NodeIndex payment = Elem(item, "payment");
+    Text(payment, "Cash");
+    Description(item);
+    Leaf(item, "shipping", "Will ship internationally");
+    int incats = 1 + rng_.Uniform(2);
+    for (int i = 0; i < incats; ++i) {
+      NodeIndex incategory = Elem(item, "incategory");
+      Attr(incategory, "category",
+           "category" + std::to_string(rng_.Uniform(opts_.categories)));
+    }
+    NodeIndex mailbox = Elem(item, "mailbox");
+    int mails = rng_.Uniform(3);
+    for (int i = 0; i < mails; ++i) {
+      NodeIndex mail = Elem(mailbox, "mail");
+      Leaf(mail, "from", std::string(kNames[rng_.Uniform(10)]));
+      Leaf(mail, "to", std::string(kNames[rng_.Uniform(10)]));
+      Leaf(mail, "date", "0" + std::to_string(1 + rng_.Uniform(9)) +
+                             "/2004");
+      NodeIndex text = Elem(mail, "text");
+      MarkedText(text, 5 + rng_.Uniform(6));
+    }
+  }
+
+  void Regions(NodeIndex site) {
+    NodeIndex regions = Elem(site, "regions");
+    const char* names[] = {"africa",  "asia",    "australia",
+                           "europe",  "namerica", "samerica"};
+    int id = 0;
+    for (const char* name : names) {
+      NodeIndex region = Elem(regions, name);
+      for (int i = 0; i < opts_.items; ++i) Item(region, id++);
+    }
+  }
+
+  void People(NodeIndex site) {
+    NodeIndex people = Elem(site, "people");
+    for (int i = 0; i < opts_.people; ++i) {
+      NodeIndex person = Elem(people, "person");
+      Attr(person, "id", "person" + std::to_string(i));
+      Leaf(person, "name", std::string(kNames[rng_.Uniform(10)]));
+      Leaf(person, "emailaddress",
+           "mailto:u" + std::to_string(i) + "@example.com");
+      if (rng_.Chance(50)) Leaf(person, "phone", "+1 555 0000");
+      if (rng_.Chance(50)) {
+        NodeIndex address = Elem(person, "address");
+        Leaf(address, "street", std::to_string(rng_.Uniform(99)) + " Main");
+        Leaf(address, "city", kCities[rng_.Uniform(5)]);
+        Leaf(address, "country", "United States");
+        Leaf(address, "zipcode", std::to_string(10000 + rng_.Uniform(899)));
+      }
+      if (rng_.Chance(30)) Leaf(person, "homepage", "http://example.com");
+      if (rng_.Chance(40)) Leaf(person, "creditcard", "1234 5678");
+      if (rng_.Chance(70)) {
+        NodeIndex profile = Elem(person, "profile");
+        Attr(profile, "income",
+             std::to_string(20000 + rng_.Uniform(80000)));
+        int interests = rng_.Uniform(3);
+        for (int k = 0; k < interests; ++k) {
+          NodeIndex interest = Elem(profile, "interest");
+          Attr(interest, "category",
+               "category" + std::to_string(rng_.Uniform(opts_.categories)));
+        }
+        if (rng_.Chance(40)) Leaf(profile, "education", "Graduate School");
+        if (rng_.Chance(50)) Leaf(profile, "gender", "male");
+        Leaf(profile, "business", rng_.Chance(50) ? "Yes" : "No");
+        if (rng_.Chance(60)) {
+          Leaf(profile, "age", std::to_string(18 + rng_.Uniform(50)));
+        }
+      }
+      if (rng_.Chance(40)) {
+        NodeIndex watches = Elem(person, "watches");
+        int n = 1 + rng_.Uniform(2);
+        for (int k = 0; k < n; ++k) {
+          NodeIndex watch = Elem(watches, "watch");
+          Attr(watch, "open_auction",
+               "open_auction" +
+                   std::to_string(rng_.Uniform(
+                       std::max(1, opts_.open_auctions))));
+        }
+      }
+    }
+  }
+
+  void PersonRef(NodeIndex parent, const std::string& tag) {
+    NodeIndex ref = Elem(parent, tag);
+    Attr(ref, "person",
+         "person" + std::to_string(rng_.Uniform(std::max(1, opts_.people))));
+  }
+
+  void OpenAuctions(NodeIndex site) {
+    NodeIndex auctions = Elem(site, "open_auctions");
+    for (int i = 0; i < opts_.open_auctions; ++i) {
+      NodeIndex auction = Elem(auctions, "open_auction");
+      Attr(auction, "id", "open_auction" + std::to_string(i));
+      Leaf(auction, "initial", std::to_string(10 + rng_.Uniform(90)) + "." +
+                                   std::to_string(rng_.Uniform(99)));
+      int bidders = rng_.Uniform(4);
+      for (int k = 0; k < bidders; ++k) {
+        NodeIndex bidder = Elem(auction, "bidder");
+        Leaf(bidder, "date", "07/07/2004");
+        Leaf(bidder, "time", "12:00:00");
+        PersonRef(bidder, "personref");
+        Leaf(bidder, "increase", std::to_string(1 + rng_.Uniform(20)));
+      }
+      Leaf(auction, "current", std::to_string(20 + rng_.Uniform(200)));
+      if (rng_.Chance(30)) Leaf(auction, "privacy", "Yes");
+      NodeIndex itemref = Elem(auction, "itemref");
+      Attr(itemref, "item",
+           "item" + std::to_string(rng_.Uniform(
+                        std::max(1, opts_.items * 6))));
+      PersonRef(auction, "seller");
+      NodeIndex annotation = Elem(auction, "annotation");
+      PersonRef(annotation, "author");
+      Description(annotation);
+      Leaf(annotation, "happiness", std::to_string(1 + rng_.Uniform(10)));
+      Leaf(auction, "quantity", "1");
+      Leaf(auction, "type", "Regular");
+      NodeIndex interval = Elem(auction, "interval");
+      Leaf(interval, "start", "01/01/2004");
+      Leaf(interval, "end", "12/31/2004");
+    }
+  }
+
+  void ClosedAuctions(NodeIndex site) {
+    NodeIndex auctions = Elem(site, "closed_auctions");
+    for (int i = 0; i < opts_.closed_auctions; ++i) {
+      NodeIndex auction = Elem(auctions, "closed_auction");
+      PersonRef(auction, "seller");
+      PersonRef(auction, "buyer");
+      NodeIndex itemref = Elem(auction, "itemref");
+      Attr(itemref, "item",
+           "item" + std::to_string(rng_.Uniform(
+                        std::max(1, opts_.items * 6))));
+      Leaf(auction, "price", std::to_string(15 + rng_.Uniform(300)));
+      Leaf(auction, "date", "07/07/2004");
+      Leaf(auction, "quantity", "1");
+      Leaf(auction, "type", "Regular");
+      NodeIndex annotation = Elem(auction, "annotation");
+      PersonRef(annotation, "author");
+      Description(annotation);
+      Leaf(annotation, "happiness", std::to_string(1 + rng_.Uniform(10)));
+    }
+  }
+
+  void Categories(NodeIndex site) {
+    NodeIndex categories = Elem(site, "categories");
+    for (int i = 0; i < opts_.categories; ++i) {
+      NodeIndex category = Elem(categories, "category");
+      Attr(category, "id", "category" + std::to_string(i));
+      Leaf(category, "name", Word(&rng_));
+      Description(category);
+    }
+    NodeIndex catgraph = Elem(site, "catgraph");
+    for (int i = 0; i + 1 < opts_.categories; ++i) {
+      NodeIndex edge = Elem(catgraph, "edge");
+      Attr(edge, "from", "category" + std::to_string(i));
+      Attr(edge, "to", "category" + std::to_string(i + 1));
+    }
+  }
+
+  const XMarkOptions& opts_;
+  Rng rng_;
+  Document doc_;
+};
+
+}  // namespace
+
+Document GenerateXMark(const XMarkOptions& opts) {
+  Generator gen(opts);
+  return gen.Run();
+}
+
+XMarkOptions XMarkScale(double factor) {
+  XMarkOptions opts;
+  opts.items = std::max(1, static_cast<int>(40 * factor));
+  opts.people = std::max(1, static_cast<int>(60 * factor));
+  opts.open_auctions = std::max(1, static_cast<int>(30 * factor));
+  opts.closed_auctions = std::max(1, static_cast<int>(20 * factor));
+  opts.categories = std::max(2, static_cast<int>(10 * factor));
+  return opts;
+}
+
+}  // namespace uload

@@ -1,0 +1,33 @@
+// XMark-like document generator (thesis uses XMark [115] throughout its
+// evaluation). Reproduces the benchmark's *path structure* — the auction
+// site with regions/items (recursive parlist/listitem descriptions with
+// bold/keyword/emph markup), people, open and closed auctions, categories
+// and the category graph — at a configurable scale. Text payloads are
+// synthetic; what matters for containment/rewriting is the summary shape.
+#ifndef ULOAD_WORKLOAD_XMARK_H_
+#define ULOAD_WORKLOAD_XMARK_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace uload {
+
+struct XMarkOptions {
+  int items = 40;           // per region (6 regions)
+  int people = 60;
+  int open_auctions = 30;
+  int closed_auctions = 20;
+  int categories = 10;
+  int max_parlist_depth = 3;  // description recursion depth
+  uint32_t seed = 42;
+};
+
+Document GenerateXMark(const XMarkOptions& opts = {});
+
+// Scales roughly with `factor` like the thesis's XMark11/111/233 series.
+XMarkOptions XMarkScale(double factor);
+
+}  // namespace uload
+
+#endif  // ULOAD_WORKLOAD_XMARK_H_

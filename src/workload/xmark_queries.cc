@@ -1,0 +1,185 @@
+#include "workload/xmark_queries.h"
+
+#include "xam/xam_parser.h"
+
+namespace uload {
+namespace {
+
+NamedXam Q(const char* name, const char* text) {
+  auto x = ParseXam(text);
+  // Query patterns are fixed strings; a parse failure is a programming
+  // error caught by the workload tests.
+  return NamedXam{name, x.ok() ? std::move(x).value() : Xam()};
+}
+
+}  // namespace
+
+std::vector<NamedXam> XMarkQueryPatterns() {
+  std::vector<NamedXam> out;
+  // Q1: the name of the person with a given id.
+  out.push_back(Q("q01",
+                  "xam\n"
+                  "node e1 label=people\n"
+                  "node e2 label=person\n"
+                  "node e3 label=@id val=\"person0\"\n"
+                  "node e4 label=name id=s val\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / s e3\n"
+                  "edge e2 / j e4\n"));
+  // Q2: initial increases of all open auctions.
+  out.push_back(Q("q02",
+                  "xam\n"
+                  "node e1 label=open_auction\n"
+                  "node e2 label=bidder\n"
+                  "node e3 label=increase id=s val\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / j e3\n"));
+  // Q3: auctions with more than one bidder (two increase branches).
+  out.push_back(Q("q03",
+                  "xam\n"
+                  "node e1 label=open_auction id=s\n"
+                  "node e2 label=bidder\n"
+                  "node e3 label=increase val\n"
+                  "node e4 label=bidder\n"
+                  "node e5 label=increase val\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / j e3\n"
+                  "edge e1 / j e4\nedge e4 / j e5\n"));
+  // Q4: auctions where a given person bid (personref existence).
+  out.push_back(Q("q04",
+                  "xam\n"
+                  "node e1 label=open_auction id=s\n"
+                  "node e2 label=bidder\n"
+                  "node e3 label=personref\n"
+                  "node e4 label=@person val=\"person1\"\n"
+                  "node e5 label=initial val\n"
+                  "edge top // j e1\nedge e1 / s e2\nedge e2 / j e3\n"
+                  "edge e3 / s e4\nedge e1 / j e5\n"));
+  // Q5: closed auctions with price >= 40.
+  out.push_back(Q("q05",
+                  "xam\n"
+                  "node e1 label=closed_auction id=s\n"
+                  "node e2 label=price val val>=40\n"
+                  "edge top // j e1\nedge e1 / j e2\n"));
+  // Q6: all items in regions.
+  out.push_back(Q("q06",
+                  "xam\n"
+                  "node e1 label=regions\n"
+                  "node e2\n"
+                  "node e3 label=item id=s\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / j e3\n"));
+  // Q7: counts of three unrelated piece kinds — the "no structural
+  // relationship between variables" pattern whose canonical model explodes.
+  out.push_back(Q("q07",
+                  "xam\n"
+                  "node e1 label=description id=s\n"
+                  "node e2 label=mail id=s\n"
+                  "node e3 label=text id=s\n"
+                  "edge top // j e1\nedge top // j e2\nedge top // j e3\n"));
+  // Q8: people and their purchases (person side).
+  out.push_back(Q("q08",
+                  "xam\n"
+                  "node e1 label=person id=s\n"
+                  "node e2 label=name val\n"
+                  "edge top // j e1\nedge e1 / j e2\n"));
+  // Q9: like Q8 plus the European item side.
+  out.push_back(Q("q09",
+                  "xam\n"
+                  "node e1 label=europe\n"
+                  "node e2 label=item\n"
+                  "node e3 label=name id=s val\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / j e3\n"));
+  // Q10: person profiles grouped by interest (profile subtree).
+  out.push_back(Q("q10",
+                  "xam\n"
+                  "node e1 label=person id=s\n"
+                  "node e2 label=profile\n"
+                  "node e3 label=interest\n"
+                  "node e4 label=@category val\n"
+                  "node e5 label=gender val\n"
+                  "node e6 label=age val\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / j e3\n"
+                  "edge e3 / j e4\nedge e2 / o e5\nedge e2 / o e6\n"));
+  // Q11: people joined with auctions by income (person side, decorated).
+  out.push_back(Q("q11",
+                  "xam\n"
+                  "node e1 label=person id=s\n"
+                  "node e2 label=profile\n"
+                  "node e3 label=@income val val>50000\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / s e3\n"));
+  // Q12: like Q11 with a lower bound.
+  out.push_back(Q("q12",
+                  "xam\n"
+                  "node e1 label=person id=s\n"
+                  "node e2 label=profile\n"
+                  "node e3 label=@income val val>=100000\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / s e3\n"));
+  // Q13: names and descriptions of Australian items.
+  out.push_back(Q("q13",
+                  "xam\n"
+                  "node e1 label=australia\n"
+                  "node e2 label=item id=s\n"
+                  "node e3 label=name val\n"
+                  "node e4 label=description id=s cont\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / j e3\n"
+                  "edge e2 / j e4\n"));
+  // Q14: items whose description mentions a keyword element.
+  out.push_back(Q("q14",
+                  "xam\n"
+                  "node e1 label=item id=s\n"
+                  "node e2 label=name val\n"
+                  "node e3 label=description\n"
+                  "node e4 label=keyword\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e1 / j e3\n"
+                  "edge e3 // s e4\n"));
+  // Q15: a long chain into nested listitems.
+  out.push_back(Q("q15",
+                  "xam\n"
+                  "node e1 label=closed_auction\n"
+                  "node e2 label=annotation\n"
+                  "node e3 label=description\n"
+                  "node e4 label=parlist\n"
+                  "node e5 label=listitem\n"
+                  "node e6 label=text\n"
+                  "node e7 label=keyword id=s val\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / j e3\n"
+                  "edge e3 / j e4\nedge e4 / j e5\nedge e5 // j e6\n"
+                  "edge e6 / j e7\n"));
+  // Q16: like Q15 but returning the auction seller.
+  out.push_back(Q("q16",
+                  "xam\n"
+                  "node e1 label=closed_auction id=s\n"
+                  "node e2 label=seller\n"
+                  "node e3 label=@person val\n"
+                  "node e4 label=annotation\n"
+                  "node e5 label=description\n"
+                  "node e6 label=parlist\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e2 / s e3\n"
+                  "edge e1 / j e4\nedge e4 / j e5\nedge e5 / s e6\n"));
+  // Q17: people without a homepage (optional homepage branch).
+  out.push_back(Q("q17",
+                  "xam\n"
+                  "node e1 label=person id=s\n"
+                  "node e2 label=name val\n"
+                  "node e3 label=homepage id=s val\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e1 / o e3\n"));
+  // Q18: initial prices of all open auctions.
+  out.push_back(Q("q18",
+                  "xam\n"
+                  "node e1 label=open_auction\n"
+                  "node e2 label=initial id=s val\n"
+                  "edge top // j e1\nedge e1 / j e2\n"));
+  // Q19: items with location, ordered output (location + name).
+  out.push_back(Q("q19",
+                  "xam ordered\n"
+                  "node e1 label=item id=s\n"
+                  "node e2 label=location val\n"
+                  "node e3 label=name val\n"
+                  "edge top // j e1\nedge e1 / j e2\nedge e1 / j e3\n"));
+  // Q20: income classes (decorated ranges over profile income).
+  out.push_back(Q("q20",
+                  "xam\n"
+                  "node e1 label=profile id=s\n"
+                  "node e2 label=@income val val<30000\n"
+                  "edge top // j e1\nedge e1 / s e2\n"));
+  return out;
+}
+
+}  // namespace uload

@@ -1,0 +1,19 @@
+// Tree patterns of the 20 XMark benchmark queries (thesis Fig. 4.14 runs
+// the containment algorithm on "the patterns of the 20 XMark queries").
+// Each pattern is the access pattern our extractor produces for the query's
+// main variable group, expressed over the structure of GenerateXMark().
+#ifndef ULOAD_WORKLOAD_XMARK_QUERIES_H_
+#define ULOAD_WORKLOAD_XMARK_QUERIES_H_
+
+#include <vector>
+
+#include "storage/storage_models.h"  // NamedXam
+
+namespace uload {
+
+// q1..q20 in order.
+std::vector<NamedXam> XMarkQueryPatterns();
+
+}  // namespace uload
+
+#endif  // ULOAD_WORKLOAD_XMARK_QUERIES_H_

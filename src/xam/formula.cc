@@ -1,0 +1,321 @@
+#include "xam/formula.h"
+
+#include <algorithm>
+
+namespace uload {
+namespace {
+
+// Compares two bounds when used as *lower* bounds: smaller value first;
+// at equal values, inclusive before exclusive.
+int CompareLo(const AtomicValue& av, bool ainc, bool ainf,
+              const AtomicValue& bv, bool binc, bool binf) {
+  if (ainf && binf) return 0;
+  if (ainf) return -1;
+  if (binf) return 1;
+  int c = AtomicValue::Compare(av, bv);
+  if (c != 0) return c;
+  if (ainc == binc) return 0;
+  return ainc ? -1 : 1;
+}
+
+}  // namespace
+
+ValueFormula::ValueFormula() {
+  intervals_.push_back(
+      Interval{Bound{{}, false, true}, Bound{{}, false, true}});
+}
+
+ValueFormula ValueFormula::True() { return ValueFormula(); }
+
+ValueFormula ValueFormula::False() {
+  ValueFormula f;
+  f.intervals_.clear();
+  return f;
+}
+
+ValueFormula ValueFormula::Atom(Comparator cmp, const AtomicValue& c) {
+  ValueFormula f = False();
+  Bound minus_inf{{}, false, true};
+  Bound plus_inf{{}, false, true};
+  switch (cmp) {
+    case Comparator::kEq:
+      f.intervals_.push_back(Interval{Bound{c, true, false},
+                                      Bound{c, true, false}});
+      break;
+    case Comparator::kNe:
+      f.intervals_.push_back(Interval{minus_inf, Bound{c, false, false}});
+      f.intervals_.push_back(Interval{Bound{c, false, false}, plus_inf});
+      break;
+    case Comparator::kLt:
+      f.intervals_.push_back(Interval{minus_inf, Bound{c, false, false}});
+      break;
+    case Comparator::kLe:
+      f.intervals_.push_back(Interval{minus_inf, Bound{c, true, false}});
+      break;
+    case Comparator::kGt:
+      f.intervals_.push_back(Interval{Bound{c, false, false}, plus_inf});
+      break;
+    case Comparator::kGe:
+      f.intervals_.push_back(Interval{Bound{c, true, false}, plus_inf});
+      break;
+    default:
+      // Structural/contains comparators are not value formulas; treat as T
+      // (no constraint) — callers never pass them.
+      return True();
+  }
+  return f;
+}
+
+bool ValueFormula::IsTrue() const {
+  return intervals_.size() == 1 && intervals_[0].lo.infinite &&
+         intervals_[0].hi.infinite;
+}
+
+bool ValueFormula::IsFalse() const { return intervals_.empty(); }
+
+bool ValueFormula::IntervalEmpty(const Interval& iv) {
+  if (iv.lo.infinite || iv.hi.infinite) return false;
+  int c = AtomicValue::Compare(iv.lo.value, iv.hi.value);
+  if (c > 0) return true;
+  if (c == 0) return !(iv.lo.inclusive && iv.hi.inclusive);
+  return false;
+}
+
+bool ValueFormula::TouchOrOverlap(const Interval& a, const Interval& b) {
+  // Assumes a.lo <= b.lo. They touch/overlap unless a.hi < b.lo strictly.
+  if (a.hi.infinite || b.lo.infinite) return true;
+  int c = AtomicValue::Compare(a.hi.value, b.lo.value);
+  if (c > 0) return true;
+  if (c < 0) return false;
+  // Equal endpoint: merged iff at least one side includes it. (Over a dense
+  // order (v < c) ∨ (v > c) is still not everything, so exclusive+exclusive
+  // does not merge.)
+  return a.hi.inclusive || b.lo.inclusive;
+}
+
+void ValueFormula::Normalize() {
+  std::vector<Interval> in;
+  in.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    if (!IntervalEmpty(iv)) in.push_back(iv);
+  }
+  std::sort(in.begin(), in.end(), [](const Interval& a, const Interval& b) {
+    return CompareLo(a.lo.value, a.lo.inclusive, a.lo.infinite, b.lo.value,
+                     b.lo.inclusive, b.lo.infinite) < 0;
+  });
+  std::vector<Interval> out;
+  for (Interval& iv : in) {
+    if (out.empty() || !TouchOrOverlap(out.back(), iv)) {
+      out.push_back(iv);
+      continue;
+    }
+    // Merge: extend hi if iv.hi is greater.
+    Interval& last = out.back();
+    bool extend = false;
+    if (iv.hi.infinite) {
+      extend = !last.hi.infinite;
+    } else if (!last.hi.infinite) {
+      int c = AtomicValue::Compare(last.hi.value, iv.hi.value);
+      extend = c < 0 || (c == 0 && !last.hi.inclusive && iv.hi.inclusive);
+    }
+    if (extend) last.hi = iv.hi;
+  }
+  intervals_ = std::move(out);
+}
+
+ValueFormula ValueFormula::And(const ValueFormula& other) const {
+  ValueFormula f = False();
+  for (const Interval& a : intervals_) {
+    for (const Interval& b : other.intervals_) {
+      Interval iv;
+      // lo = max(a.lo, b.lo) as lower bounds (later / more restrictive).
+      int c = CompareLo(a.lo.value, a.lo.inclusive, a.lo.infinite, b.lo.value,
+                        b.lo.inclusive, b.lo.infinite);
+      iv.lo = c >= 0 ? a.lo : b.lo;
+      // hi = min(a.hi, b.hi): for upper bounds, smaller value first; at
+      // equal values exclusive is more restrictive.
+      auto hi_less = [](const Bound& x, const Bound& y) {
+        if (x.infinite) return false;
+        if (y.infinite) return true;
+        int cc = AtomicValue::Compare(x.value, y.value);
+        if (cc != 0) return cc < 0;
+        return !x.inclusive && y.inclusive;
+      };
+      iv.hi = hi_less(a.hi, b.hi) ? a.hi : b.hi;
+      if (!IntervalEmpty(iv)) f.intervals_.push_back(iv);
+    }
+  }
+  f.Normalize();
+  return f;
+}
+
+ValueFormula ValueFormula::Or(const ValueFormula& other) const {
+  ValueFormula f = *this;
+  f.intervals_.insert(f.intervals_.end(), other.intervals_.begin(),
+                      other.intervals_.end());
+  f.Normalize();
+  return f;
+}
+
+ValueFormula ValueFormula::Not() const {
+  // Complement of a sorted disjoint union: the gaps.
+  ValueFormula f = False();
+  Bound cursor{{}, false, true};  // -inf
+  bool cursor_at_minus_inf = true;
+  for (const Interval& iv : intervals_) {
+    // Gap (cursor, iv.lo).
+    Interval gap;
+    gap.lo = cursor;
+    if (!cursor_at_minus_inf) {
+      // cursor holds the previous hi: the gap starts just after it.
+      gap.lo.inclusive = !cursor.inclusive;
+      gap.lo.infinite = false;
+    }
+    if (iv.lo.infinite) {
+      // No gap before an interval starting at -inf.
+    } else {
+      gap.hi = Bound{iv.lo.value, !iv.lo.inclusive, false};
+      if (!IntervalEmpty(gap)) f.intervals_.push_back(gap);
+    }
+    if (iv.hi.infinite) return f;  // covered to +inf
+    cursor = iv.hi;
+    cursor_at_minus_inf = false;
+  }
+  Interval tail;
+  tail.lo = cursor;
+  if (!cursor_at_minus_inf) {
+    tail.lo.inclusive = !cursor.inclusive;
+    tail.lo.infinite = false;
+  }
+  tail.hi = Bound{{}, false, true};
+  f.intervals_.push_back(tail);
+  f.Normalize();
+  return f;
+}
+
+bool ValueFormula::Implies(const ValueFormula& other) const {
+  return And(other.Not()).IsFalse();
+}
+
+bool ValueFormula::EquivalentTo(const ValueFormula& other) const {
+  return Implies(other) && other.Implies(*this);
+}
+
+bool ValueFormula::SatisfiedBy(const AtomicValue& v) const {
+  for (const Interval& iv : intervals_) {
+    bool lo_ok = iv.lo.infinite;
+    if (!lo_ok) {
+      int c = AtomicValue::Compare(v, iv.lo.value);
+      lo_ok = c > 0 || (c == 0 && iv.lo.inclusive);
+    }
+    if (!lo_ok) continue;
+    bool hi_ok = iv.hi.infinite;
+    if (!hi_ok) {
+      int c = AtomicValue::Compare(v, iv.hi.value);
+      hi_ok = c < 0 || (c == 0 && iv.hi.inclusive);
+    }
+    if (hi_ok) return true;
+  }
+  return false;
+}
+
+AtomicValue ValueFormula::Witness() const {
+  if (intervals_.empty()) return AtomicValue::Null();
+  const Interval& iv = intervals_[0];
+  if (!iv.lo.infinite && iv.lo.inclusive) return iv.lo.value;
+  if (!iv.hi.infinite && iv.hi.inclusive) return iv.hi.value;
+  if (!iv.lo.infinite && !iv.hi.infinite) {
+    // Open interval: midpoint when numeric, else extend the lo string.
+    if (iv.lo.value.is_number() && iv.hi.value.is_number()) {
+      return AtomicValue::Number(
+          (iv.lo.value.as_number() + iv.hi.value.as_number()) / 2);
+    }
+    if (iv.lo.value.is_string()) {
+      return AtomicValue::String(iv.lo.value.as_string() + "a");
+    }
+  }
+  if (!iv.lo.infinite) {
+    // (c, +inf): c + 1 numerically, or c + "a" for strings.
+    if (iv.lo.value.is_number()) {
+      return AtomicValue::Number(iv.lo.value.as_number() + 1);
+    }
+    return AtomicValue::String(iv.lo.value.as_string() + "a");
+  }
+  if (!iv.hi.infinite) {
+    // (-inf, c): c - 1 numerically, else the empty string (minimal string).
+    if (iv.hi.value.is_number()) {
+      return AtomicValue::Number(iv.hi.value.as_number() - 1);
+    }
+    return AtomicValue::Number(-1e18);
+  }
+  return AtomicValue::Number(0);  // whole domain
+}
+
+std::string ValueFormula::ToString() const {
+  if (IsTrue()) return "T";
+  if (IsFalse()) return "F";
+  std::string out;
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    const Interval& iv = intervals_[i];
+    if (i > 0) out += " ∨ ";
+    if (!iv.lo.infinite && !iv.hi.infinite &&
+        AtomicValue::Compare(iv.lo.value, iv.hi.value) == 0) {
+      out += "v=" + iv.lo.value.ToString();
+      continue;
+    }
+    std::string part;
+    if (!iv.lo.infinite) {
+      part += "v" + std::string(iv.lo.inclusive ? ">=" : ">") +
+              iv.lo.value.ToString();
+    }
+    if (!iv.hi.infinite) {
+      if (!part.empty()) part += " ∧ ";
+      part += "v" + std::string(iv.hi.inclusive ? "<=" : "<") +
+              iv.hi.value.ToString();
+    }
+    out += part;
+  }
+  return out;
+}
+
+PredicatePtr ValueFormula::ToPredicate(const std::string& attr) const {
+  if (IsTrue()) return Predicate::True();
+  if (IsFalse()) return Predicate::Not(Predicate::True());
+  PredicatePtr out;
+  for (const Interval& iv : intervals_) {
+    PredicatePtr part;
+    if (!iv.lo.infinite && !iv.hi.infinite &&
+        AtomicValue::Compare(iv.lo.value, iv.hi.value) == 0) {
+      part = Predicate::CompareConst(attr, Comparator::kEq, iv.lo.value);
+    } else {
+      if (!iv.lo.infinite) {
+        part = Predicate::CompareConst(
+            attr, iv.lo.inclusive ? Comparator::kGe : Comparator::kGt,
+            iv.lo.value);
+      }
+      if (!iv.hi.infinite) {
+        PredicatePtr hi = Predicate::CompareConst(
+            attr, iv.hi.inclusive ? Comparator::kLe : Comparator::kLt,
+            iv.hi.value);
+        part = part ? Predicate::And(std::move(part), std::move(hi))
+                    : std::move(hi);
+      }
+    }
+    if (!part) part = Predicate::True();
+    out = out ? Predicate::Or(std::move(out), std::move(part))
+              : std::move(part);
+  }
+  return out;
+}
+
+bool ValueFormula::IsSingleEquality(AtomicValue* c) const {
+  if (intervals_.size() != 1) return false;
+  const Interval& iv = intervals_[0];
+  if (iv.lo.infinite || iv.hi.infinite) return false;
+  if (AtomicValue::Compare(iv.lo.value, iv.hi.value) != 0) return false;
+  if (!iv.lo.inclusive || !iv.hi.inclusive) return false;
+  if (c != nullptr) *c = iv.lo.value;
+  return true;
+}
+
+}  // namespace uload

@@ -1,0 +1,86 @@
+// Value formulas φ(v) decorating pattern nodes (thesis §4.1, §4.4.2).
+//
+// A formula is a predicate over one free variable v ranging over the totally
+// ordered atomic domain A (numbers and strings, ordered by
+// AtomicValue::Compare). Formulas are built from atoms v θ c with
+// θ ∈ {=, ≠, <, ≤, >, ≥} combined by ∧ and ∨, and are kept in a canonical
+// form: a finite union of disjoint, non-touching intervals (plus the special
+// T and F). This makes conjunction, disjunction, negation and implication
+// (the φ_e(n)(v) ⇒ φ_n(v) test of decorated embeddings) all effective.
+#ifndef ULOAD_XAM_FORMULA_H_
+#define ULOAD_XAM_FORMULA_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "algebra/value.h"
+
+namespace uload {
+
+class ValueFormula {
+ public:
+  // The always-true formula T (the whole domain).
+  ValueFormula();
+
+  static ValueFormula True();
+  static ValueFormula False();
+  // v θ c.
+  static ValueFormula Atom(Comparator cmp, const AtomicValue& c);
+  // Convenience: v = c.
+  static ValueFormula Equals(const AtomicValue& c) {
+    return Atom(Comparator::kEq, c);
+  }
+
+  bool IsTrue() const;
+  bool IsFalse() const;
+
+  ValueFormula And(const ValueFormula& other) const;
+  ValueFormula Or(const ValueFormula& other) const;
+  ValueFormula Not() const;
+
+  // this ⇒ other, i.e. this ∧ ¬other is unsatisfiable.
+  bool Implies(const ValueFormula& other) const;
+  // Same set of satisfying values.
+  bool EquivalentTo(const ValueFormula& other) const;
+
+  bool SatisfiedBy(const AtomicValue& v) const;
+
+  // Some value satisfying the formula (for canonical-model materialization);
+  // null AtomicValue if unsatisfiable.
+  AtomicValue Witness() const;
+
+  std::string ToString() const;
+
+  // True if this formula is exactly "v = c" for a single constant.
+  bool IsSingleEquality(AtomicValue* c) const;
+
+  // Equivalent predicate over the (dotted) attribute `attr`: a disjunction
+  // of per-interval bound conjunctions. False formulas translate to
+  // not(true).
+  PredicatePtr ToPredicate(const std::string& attr) const;
+
+ private:
+  struct Bound {
+    AtomicValue value;     // ignored when infinite
+    bool inclusive = false;
+    bool infinite = false;  // lo: -inf, hi: +inf
+  };
+  struct Interval {
+    Bound lo;
+    Bound hi;
+  };
+
+  static bool IntervalEmpty(const Interval& iv);
+  // a.hi meets or overlaps b.lo (assuming a.lo <= b.lo order).
+  static bool TouchOrOverlap(const Interval& a, const Interval& b);
+  void Normalize();
+
+  // Disjoint, sorted intervals. True = single (-inf, +inf) interval;
+  // False = empty vector.
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_XAM_FORMULA_H_

@@ -1,0 +1,291 @@
+#include "xam/xam_parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace uload {
+namespace {
+
+struct PendingNode {
+  std::string name;
+  std::string label;
+  bool is_attribute = false;
+  bool stores_id = false;
+  IdKind id_kind = IdKind::kStructural;
+  bool id_required = false;
+  bool stores_tag = false;
+  bool tag_required = false;
+  bool stores_val = false;
+  bool val_required = false;
+  ValueFormula formula = ValueFormula::True();
+  bool stores_cont = false;
+};
+
+struct PendingEdge {
+  std::string parent;
+  std::string child;
+  Axis axis = Axis::kChild;
+  JoinVariant variant = JoinVariant::kInner;
+};
+
+// Tokenizes a line respecting "quoted strings" (quotes may contain spaces).
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (char c : line) {
+    if (in_quotes) {
+      cur += c;
+      if (c == '"') in_quotes = false;
+      continue;
+    }
+    if (c == '"') {
+      cur += c;
+      in_quotes = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+// Parses the constant in a val predicate: "str" (quoted) or a number.
+Result<AtomicValue> ParseConstant(std::string_view text) {
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    return AtomicValue::String(std::string(text.substr(1, text.size() - 2)));
+  }
+  double num;
+  if (ParseNumber(text, &num)) return AtomicValue::Number(num);
+  return Status::ParseError("bad constant '" + std::string(text) + "'");
+}
+
+Status ApplyNodeOption(std::string_view opt, PendingNode* n) {
+  if (opt.rfind("label=", 0) == 0) {
+    std::string_view v = opt.substr(6);
+    if (v == "*") {
+      n->label.clear();
+    } else if (v == "@" || v == "@*") {
+      // Wildcard attribute: any attribute node.
+      n->label.clear();
+      n->is_attribute = true;
+    } else if (!v.empty() && v[0] == '@') {
+      n->label = std::string(v);
+      n->is_attribute = true;
+    } else {
+      n->label = std::string(v);
+    }
+    return Status::Ok();
+  }
+  if (opt.rfind("id=", 0) == 0) {
+    std::string_view v = opt.substr(3);
+    if (!v.empty() && v.back() == '!') {
+      n->id_required = true;
+      v.remove_suffix(1);
+    }
+    if (v.size() != 1 || !IdKindFromCode(v[0], &n->id_kind)) {
+      return Status::ParseError("bad id kind in '" + std::string(opt) + "'");
+    }
+    n->stores_id = true;
+    return Status::Ok();
+  }
+  if (opt == "tag" || opt == "tag!") {
+    n->stores_tag = true;
+    n->tag_required = opt.back() == '!';
+    return Status::Ok();
+  }
+  if (opt == "val" || opt == "val!") {
+    n->stores_val = true;
+    n->val_required = opt.back() == '!';
+    return Status::Ok();
+  }
+  if (opt == "cont") {
+    n->stores_cont = true;
+    return Status::Ok();
+  }
+  if (opt.rfind("val", 0) == 0) {
+    std::string_view rest = opt.substr(3);
+    Comparator cmp;
+    if (rest.rfind("!=", 0) == 0) {
+      cmp = Comparator::kNe;
+      rest.remove_prefix(2);
+    } else if (rest.rfind("<=", 0) == 0) {
+      cmp = Comparator::kLe;
+      rest.remove_prefix(2);
+    } else if (rest.rfind(">=", 0) == 0) {
+      cmp = Comparator::kGe;
+      rest.remove_prefix(2);
+    } else if (rest.rfind("=", 0) == 0) {
+      cmp = Comparator::kEq;
+      rest.remove_prefix(1);
+    } else if (rest.rfind("<", 0) == 0) {
+      cmp = Comparator::kLt;
+      rest.remove_prefix(1);
+    } else if (rest.rfind(">", 0) == 0) {
+      cmp = Comparator::kGt;
+      rest.remove_prefix(1);
+    } else {
+      return Status::ParseError("bad val predicate '" + std::string(opt) +
+                                "'");
+    }
+    ULOAD_ASSIGN_OR_RETURN(AtomicValue c, ParseConstant(rest));
+    n->formula = n->formula.And(ValueFormula::Atom(cmp, c));
+    return Status::Ok();
+  }
+  return Status::ParseError("unknown node option '" + std::string(opt) + "'");
+}
+
+Result<JoinVariant> ParseVariant(std::string_view v) {
+  if (v == "j") return JoinVariant::kInner;
+  if (v == "o") return JoinVariant::kLeftOuter;
+  if (v == "s") return JoinVariant::kSemi;
+  if (v == "nj") return JoinVariant::kNestJoin;
+  if (v == "no") return JoinVariant::kNestOuter;
+  return Status::ParseError("unknown join variant '" + std::string(v) + "'");
+}
+
+}  // namespace
+
+Result<Xam> ParseXam(std::string_view text) {
+  std::vector<PendingNode> pending_nodes;
+  std::vector<PendingEdge> pending_edges;
+  bool ordered = false;
+  bool saw_header = false;
+
+  size_t pos = 0;
+  int lineno = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view raw = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++lineno;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    std::vector<std::string> toks = Tokenize(line);
+    const std::string& head = toks[0];
+    if (head == "xam") {
+      saw_header = true;
+      for (size_t i = 1; i < toks.size(); ++i) {
+        if (toks[i] == "ordered") {
+          ordered = true;
+        } else {
+          return Status::ParseError("line " + std::to_string(lineno) +
+                                    ": unknown xam option '" + toks[i] + "'");
+        }
+      }
+    } else if (head == "node") {
+      if (toks.size() < 2) {
+        return Status::ParseError("line " + std::to_string(lineno) +
+                                  ": node needs a name");
+      }
+      PendingNode n;
+      n.name = toks[1];
+      for (size_t i = 2; i < toks.size(); ++i) {
+        Status st = ApplyNodeOption(toks[i], &n);
+        if (!st.ok()) {
+          return Status::ParseError("line " + std::to_string(lineno) + ": " +
+                                    st.message());
+        }
+      }
+      pending_nodes.push_back(std::move(n));
+    } else if (head == "edge") {
+      // edge <parent> /|// [variant] <child>
+      if (toks.size() != 4 && toks.size() != 5) {
+        return Status::ParseError("line " + std::to_string(lineno) +
+                                  ": edge syntax: edge <parent> /|// "
+                                  "[j|o|s|nj|no] <child>");
+      }
+      PendingEdge e;
+      e.parent = toks[1];
+      if (toks[2] == "/") {
+        e.axis = Axis::kChild;
+      } else if (toks[2] == "//") {
+        e.axis = Axis::kDescendant;
+      } else {
+        return Status::ParseError("line " + std::to_string(lineno) +
+                                  ": bad axis '" + toks[2] + "'");
+      }
+      if (toks.size() == 5) {
+        ULOAD_ASSIGN_OR_RETURN(e.variant, ParseVariant(toks[3]));
+        e.child = toks[4];
+      } else {
+        e.child = toks[3];
+      }
+      pending_edges.push_back(std::move(e));
+    } else {
+      return Status::ParseError("line " + std::to_string(lineno) +
+                                ": unknown directive '" + head + "'");
+    }
+    if (end == text.size()) break;
+  }
+
+  if (!saw_header) {
+    return Status::ParseError("missing 'xam' header line");
+  }
+
+  // Assemble: nodes are attached per edges; a node without an incoming edge
+  // other than "top" is an error (except nothing — "top" is implicit).
+  std::map<std::string, std::string> parent_of;
+  std::map<std::string, PendingEdge*> edge_of;
+  for (PendingEdge& e : pending_edges) {
+    if (parent_of.count(e.child) != 0) {
+      return Status::ParseError("node '" + e.child +
+                                "' has two incoming edges");
+    }
+    parent_of[e.child] = e.parent;
+    edge_of[e.child] = &e;
+  }
+
+  Xam xam;
+  xam.set_ordered(ordered);
+  std::map<std::string, XamNodeId> ids;
+  ids["top"] = kXamRoot;
+
+  // Insert nodes in declaration order; parents must be declared first.
+  for (const PendingNode& n : pending_nodes) {
+    auto pit = parent_of.find(n.name);
+    if (pit == parent_of.end()) {
+      return Status::ParseError("node '" + n.name + "' has no incoming edge");
+    }
+    auto idit = ids.find(pit->second);
+    if (idit == ids.end()) {
+      return Status::ParseError("node '" + n.name + "' declared before its "
+                                "parent '" + pit->second + "'");
+    }
+    const PendingEdge& e = *edge_of[n.name];
+    XamNodeId id = xam.AddNode(idit->second, e.axis, n.label, e.variant,
+                               n.name);
+    XamNode& xn = xam.node(id);
+    xn.is_attribute = n.is_attribute;
+    xn.stores_id = n.stores_id;
+    xn.id_kind = n.id_kind;
+    xn.id_required = n.id_required;
+    xn.stores_tag = n.stores_tag;
+    xn.tag_required = n.tag_required;
+    xn.stores_val = n.stores_val;
+    xn.val_required = n.val_required;
+    xn.val_formula = n.formula;
+    xn.stores_cont = n.stores_cont;
+    ids[n.name] = id;
+  }
+  for (const PendingEdge& e : pending_edges) {
+    if (ids.count(e.child) == 0) {
+      return Status::ParseError("edge references undeclared node '" +
+                                e.child + "'");
+    }
+  }
+  return xam;
+}
+
+}  // namespace uload

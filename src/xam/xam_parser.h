@@ -1,0 +1,25 @@
+// Textual syntax for XAMs (concrete rendering of the Fig. 2.3 grammar).
+//
+//   xam [ordered]
+//   node <name> [label=<tag>|label=*|label=@attr] [id=i|o|s|p[!]]
+//        [tag[!]] [val[!]] [val="c" | val=<n> | val<n | val<=n | val>n |
+//         val>=n | val!=...] [cont]
+//   edge <parent> /|// [j|o|s|nj|no] <child>
+//
+// '!' marks R (required) annotations. Lines starting with '#' are comments.
+// The root node "top" (⊤) is implicit; edges from it use parent name "top".
+#ifndef ULOAD_XAM_XAM_PARSER_H_
+#define ULOAD_XAM_XAM_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xam/xam.h"
+
+namespace uload {
+
+Result<Xam> ParseXam(std::string_view text);
+
+}  // namespace uload
+
+#endif  // ULOAD_XAM_XAM_PARSER_H_

@@ -1,0 +1,69 @@
+#include "xam/xam_printer.h"
+
+namespace uload {
+namespace {
+
+const char* VariantCode(JoinVariant v) {
+  switch (v) {
+    case JoinVariant::kInner:
+      return "j";
+    case JoinVariant::kSemi:
+      return "s";
+    case JoinVariant::kLeftOuter:
+      return "o";
+    case JoinVariant::kNestJoin:
+      return "nj";
+    case JoinVariant::kNestOuter:
+      return "no";
+  }
+  return "j";
+}
+
+}  // namespace
+
+std::string PrintXam(const Xam& xam) {
+  std::string out = "xam";
+  if (xam.ordered()) out += " ordered";
+  out += "\n";
+  for (XamNodeId id : xam.PreOrder()) {
+    if (id == kXamRoot) continue;
+    const XamNode& n = xam.node(id);
+    out += "node " + n.name;
+    if (!n.tag_value.empty()) {
+      out += " label=" + n.tag_value;
+    } else if (n.is_attribute) {
+      out += " label=@*";
+    }
+    if (n.stores_id) {
+      out += " id=";
+      out += IdKindCode(n.id_kind);
+      if (n.id_required) out += "!";
+    }
+    if (n.stores_tag) out += n.tag_required ? " tag!" : " tag";
+    if (n.stores_val) out += n.val_required ? " val!" : " val";
+    AtomicValue c;
+    if (n.val_formula.IsSingleEquality(&c)) {
+      out += " val=";
+      out += c.is_string() ? "\"" + c.as_string() + "\"" : c.ToString();
+    } else if (!n.val_formula.IsTrue()) {
+      // General formulas are not expressible in single-atom syntax; emit a
+      // comment so the output stays parseable.
+      out += "  # formula: " + n.val_formula.ToString();
+    }
+    if (n.stores_cont) out += " cont";
+    out += "\n";
+  }
+  for (XamNodeId id : xam.PreOrder()) {
+    const XamNode& n = xam.node(id);
+    for (const XamEdge& e : n.edges) {
+      out += "edge " + n.name + " ";
+      out += e.axis == Axis::kChild ? "/" : "//";
+      out += " ";
+      out += VariantCode(e.variant);
+      out += " " + xam.node(e.child).name + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace uload

@@ -1,0 +1,16 @@
+// Serializes a Xam back to the textual syntax accepted by ParseXam
+// (round-trippable up to node ordering and formula normalization).
+#ifndef ULOAD_XAM_XAM_PRINTER_H_
+#define ULOAD_XAM_XAM_PRINTER_H_
+
+#include <string>
+
+#include "xam/xam.h"
+
+namespace uload {
+
+std::string PrintXam(const Xam& xam);
+
+}  // namespace uload
+
+#endif  // ULOAD_XAM_XAM_PRINTER_H_

@@ -1,0 +1,160 @@
+#include "xml/document.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "xml/parser.h"
+#include "xml/serialize.h"
+
+namespace uload {
+
+Document::Document() {
+  // Index 0 is the synthetic document node (N_d).
+  Node doc;
+  doc.kind = NodeKind::kDocument;
+  doc.label = "#document";
+  nodes_.push_back(std::move(doc));
+}
+
+Result<Document> Document::Parse(std::string_view xml) {
+  return ParseXml(xml);
+}
+
+NodeIndex Document::AddNode(NodeKind kind, std::string label,
+                            std::string value, NodeIndex parent) {
+  assert(!finalized_ && "AddNode after Finalize");
+  assert(parent >= 0 && parent < static_cast<NodeIndex>(nodes_.size()));
+  NodeIndex idx = static_cast<NodeIndex>(nodes_.size());
+  Node n;
+  n.kind = kind;
+  n.label = std::move(label);
+  n.value = std::move(value);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+
+  // Link as the last child of `parent`. Nodes arrive in document order, so
+  // appending keeps sibling lists sorted.
+  Node& p = nodes_[parent];
+  if (p.first_child == kNoNode) {
+    p.first_child = idx;
+    nodes_[idx].ordinal = 0;
+  } else {
+    NodeIndex c = p.first_child;
+    while (nodes_[c].next_sibling != kNoNode) c = nodes_[c].next_sibling;
+    nodes_[c].next_sibling = idx;
+    nodes_[idx].ordinal = nodes_[c].ordinal + 1;
+  }
+  return idx;
+}
+
+void Document::Finalize() {
+  assert(!finalized_);
+  // Nodes were appended in document order, so index order IS pre-order.
+  // pre labels are 1-based over non-document nodes; post labels are computed
+  // by a single reverse pass: a node's post label must exceed those of all
+  // its descendants, and descendants are exactly the index interval
+  // (i, subtree_end(i)). We compute post via an explicit DFS instead.
+  uint32_t pre = 0;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    nodes_[i].sid.pre = ++pre;
+    nodes_[i].sid.depth = nodes_[nodes_[i].parent].sid.depth + 1;
+  }
+  // Post-order numbering: children before parents. Since children have
+  // larger indices than parents, iterating indices backwards and assigning
+  // decreasing numbers gives *reverse* post-order for siblings; instead we
+  // do an iterative DFS.
+  uint32_t post = 0;
+  std::vector<std::pair<NodeIndex, bool>> stack;  // (node, expanded)
+  stack.emplace_back(0, false);
+  while (!stack.empty()) {
+    auto [idx, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      if (idx != 0) nodes_[idx].sid.post = ++post;
+      continue;
+    }
+    stack.emplace_back(idx, true);
+    // Push children in reverse so the leftmost is processed first.
+    std::vector<NodeIndex> kids = Children(idx);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, false);
+    }
+  }
+  // The document node gets labels spanning everything.
+  nodes_[0].sid = StructuralId{0, post + 1, 0};
+  finalized_ = true;
+}
+
+NodeIndex Document::root() const {
+  for (NodeIndex c = nodes_[0].first_child; c != kNoNode;
+       c = nodes_[c].next_sibling) {
+    if (nodes_[c].is_element()) return c;
+  }
+  return kNoNode;
+}
+
+int64_t Document::element_count() const {
+  int64_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.is_element()) ++n;
+  }
+  return n;
+}
+
+std::vector<NodeIndex> Document::Children(NodeIndex i) const {
+  std::vector<NodeIndex> out;
+  for (NodeIndex c = nodes_[i].first_child; c != kNoNode;
+       c = nodes_[c].next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+NodeIndex Document::NodeByPre(uint32_t pre) const {
+  // pre labels are assigned densely in index order: node i has pre == i.
+  if (pre == 0 || pre >= nodes_.size()) return kNoNode;
+  return static_cast<NodeIndex>(pre);
+}
+
+std::string Document::Value(NodeIndex i) const {
+  const Node& n = nodes_[i];
+  if (n.is_text() || n.is_attribute()) return n.value;
+  std::string out;
+  // Descendants of i are exactly the contiguous index range of its subtree;
+  // walk it via DFS to respect document order (index order already does).
+  std::vector<NodeIndex> stack = Children(i);
+  // Children() returns doc order; we need a proper DFS queue.
+  std::vector<NodeIndex> work(stack.rbegin(), stack.rend());
+  while (!work.empty()) {
+    NodeIndex c = work.back();
+    work.pop_back();
+    if (nodes_[c].is_text()) out += nodes_[c].value;
+    if (nodes_[c].is_attribute()) continue;  // attribute values not in text()
+    std::vector<NodeIndex> kids = Children(c);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) work.push_back(*it);
+  }
+  return out;
+}
+
+std::string Document::Content(NodeIndex i) const {
+  return SerializeSubtree(*this, i);
+}
+
+DeweyId Document::Dewey(NodeIndex i) const {
+  DeweyId path;
+  NodeIndex cur = i;
+  while (cur != kNoNode && nodes_[cur].kind != NodeKind::kDocument) {
+    path.push_back(nodes_[cur].ordinal + 1);
+    cur = nodes_[cur].parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int64_t Document::SerializedSize() const {
+  NodeIndex r = root();
+  if (r == kNoNode) return 0;
+  return static_cast<int64_t>(Content(r).size());
+}
+
+}  // namespace uload

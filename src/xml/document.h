@@ -1,0 +1,81 @@
+// Document: an arena of Nodes in document (pre-)order, with structural and
+// Dewey identifiers assigned at Finalize() time.
+#ifndef ULOAD_XML_DOCUMENT_H_
+#define ULOAD_XML_DOCUMENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/ids.h"
+#include "xml/node.h"
+
+namespace uload {
+
+class Document {
+ public:
+  Document();
+
+  // --- Construction -------------------------------------------------------
+
+  // Parses `xml` (elements, attributes, text, comments, CDATA, entities).
+  // Whitespace-only text nodes are dropped. The returned document is
+  // finalized.
+  static Result<Document> Parse(std::string_view xml);
+
+  // Builder interface: nodes must be added in document order (parent before
+  // children, siblings left to right; attributes before element children).
+  // Returns the new node's index.
+  NodeIndex AddNode(NodeKind kind, std::string label, std::string value,
+                    NodeIndex parent);
+  // Assigns (pre, post, depth) and child ordinals. Must be called once after
+  // the last AddNode and before any query.
+  void Finalize();
+
+  // --- Access --------------------------------------------------------------
+
+  // The synthetic document node (index 0).
+  NodeIndex document_node() const { return 0; }
+  // The unique element child of the document node.
+  NodeIndex root() const;
+
+  int64_t size() const { return static_cast<int64_t>(nodes_.size()); }
+  const Node& node(NodeIndex i) const { return nodes_[i]; }
+  Node& mutable_node(NodeIndex i) { return nodes_[i]; }
+
+  // Number of element nodes (the N statistic of Fig. 4.13).
+  int64_t element_count() const;
+
+  // Children of `i` in document order.
+  std::vector<NodeIndex> Children(NodeIndex i) const;
+
+  // Node index with the given pre label (pre labels are dense, 1-based over
+  // non-document nodes), or kNoNode.
+  NodeIndex NodeByPre(uint32_t pre) const;
+
+  // XPath text() semantics: concatenation of all descendant #text values in
+  // document order; for attributes/texts, their own value (§1.1).
+  std::string Value(NodeIndex i) const;
+
+  // Serialized subtree ("content" in §1.1): elements as markup, attributes
+  // as name="value", text as escaped character data.
+  std::string Content(NodeIndex i) const;
+
+  // Dewey identifier (root element = {1}); attributes and texts take their
+  // ordinal arc like any child.
+  DeweyId Dewey(NodeIndex i) const;
+
+  // Total serialized size in bytes (the "Size" statistic of Fig. 4.13).
+  int64_t SerializedSize() const;
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::vector<Node> nodes_;
+  bool finalized_ = false;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_XML_DOCUMENT_H_

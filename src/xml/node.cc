@@ -1,0 +1,21 @@
+#include "xml/node.h"
+
+namespace uload {
+
+// Node is a plain data carrier; the kind names live here so diagnostics all
+// print them the same way.
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDocument:
+      return "document";
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kAttribute:
+      return "attribute";
+    case NodeKind::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+}  // namespace uload

@@ -1,0 +1,251 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace uload {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Document> Run() {
+    Document doc;
+    SkipProlog();
+    ULOAD_RETURN_NOT_OK(ParseElement(&doc, doc.document_node()));
+    SkipMisc();
+    if (!AtEnd()) {
+      return Status::ParseError("trailing content at offset " +
+                                std::to_string(pos_));
+    }
+    doc.Finalize();
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookingAt(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  // Skips <?xml ...?>, comments, DOCTYPE, whitespace before the root.
+  void SkipProlog() { SkipMisc(); }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        size_t end = input_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+      } else if (LookingAt("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+      } else if (LookingAt("<!DOCTYPE")) {
+        // Skip to matching '>' (internal subsets use [...]).
+        int depth = 0;
+        while (!AtEnd()) {
+          char c = input_[pos_++];
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth == 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      return Status::ParseError("expected name at offset " +
+                                std::to_string(pos_));
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // Decodes entities in `raw`.
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos || semi - i > 10) {
+        out += raw[i++];
+        continue;
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out += '&';
+      } else if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        if (code > 0 && code < 128) {
+          out += static_cast<char>(code);
+        } else {
+          out += '?';  // non-ASCII references degrade gracefully
+        }
+      } else {
+        // Unknown entity: keep literally.
+        out += raw.substr(i, semi - i + 1);
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Status ParseElement(Document* doc, NodeIndex parent) {
+    if (AtEnd() || Peek() != '<') {
+      return Status::ParseError("expected '<' at offset " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    ULOAD_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    NodeIndex elem =
+        doc->AddNode(NodeKind::kElement, std::move(tag), "", parent);
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Status::ParseError("unexpected end in tag");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      ULOAD_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') {
+        return Status::ParseError("expected '=' after attribute " + name);
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Status::ParseError("expected quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Status::ParseError("unterminated attribute value");
+      std::string value =
+          DecodeEntities(input_.substr(start, pos_ - start));
+      ++pos_;
+      doc->AddNode(NodeKind::kAttribute, std::move(name), std::move(value),
+                   elem);
+    }
+
+    if (LookingAt("/>")) {
+      pos_ += 2;
+      return Status::Ok();
+    }
+    ++pos_;  // consume '>'
+
+    // Content.
+    std::string text;
+    auto flush_text = [&]() {
+      if (StripWhitespace(text).empty()) {
+        text.clear();
+        return;
+      }
+      doc->AddNode(NodeKind::kText, "#text", DecodeEntities(text), elem);
+      text.clear();
+    };
+
+    for (;;) {
+      if (AtEnd()) {
+        return Status::ParseError("unexpected end inside element '" +
+                                  doc->node(elem).label + "'");
+      }
+      if (LookingAt("</")) {
+        flush_text();
+        pos_ += 2;
+        ULOAD_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != doc->node(elem).label) {
+          return Status::ParseError("mismatched close tag </" + close +
+                                    "> for <" + doc->node(elem).label + ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') {
+          return Status::ParseError("expected '>' in close tag");
+        }
+        ++pos_;
+        return Status::Ok();
+      }
+      if (LookingAt("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated CDATA");
+        }
+        text += input_.substr(pos_ + 9, end - pos_ - 9);
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<?")) {
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated processing instruction");
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (Peek() == '<') {
+        flush_text();
+        ULOAD_RETURN_NOT_OK(ParseElement(doc, elem));
+        continue;
+      }
+      text += input_[pos_++];
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.Run();
+}
+
+}  // namespace uload

@@ -1,0 +1,22 @@
+// Hand-written, non-validating XML parser producing a Document.
+//
+// Supports the subset needed for the paper's data sets: elements,
+// attributes, character data, CDATA sections, comments, processing
+// instructions and a DOCTYPE prolog (skipped), and the five predefined
+// entities plus numeric character references. Whitespace-only text nodes
+// between elements are dropped (data-centric convention).
+#ifndef ULOAD_XML_PARSER_H_
+#define ULOAD_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace uload {
+
+Result<Document> ParseXml(std::string_view input);
+
+}  // namespace uload
+
+#endif  // ULOAD_XML_PARSER_H_

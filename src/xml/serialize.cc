@@ -1,0 +1,59 @@
+#include "xml/serialize.h"
+
+#include "common/string_util.h"
+#include "xml/document.h"
+
+namespace uload {
+namespace {
+
+void SerializeRec(const Document& doc, NodeIndex i, std::string* out) {
+  const Node& n = doc.node(i);
+  switch (n.kind) {
+    case NodeKind::kText:
+      *out += XmlEscape(n.value);
+      return;
+    case NodeKind::kAttribute:
+      *out += n.label;
+      *out += "=\"";
+      *out += XmlEscape(n.value);
+      *out += '"';
+      return;
+    case NodeKind::kDocument: {
+      for (NodeIndex c : doc.Children(i)) SerializeRec(doc, c, out);
+      return;
+    }
+    case NodeKind::kElement:
+      break;
+  }
+  *out += '<';
+  *out += n.label;
+  std::vector<NodeIndex> kids = doc.Children(i);
+  size_t first_non_attr = 0;
+  for (NodeIndex c : kids) {
+    if (!doc.node(c).is_attribute()) break;
+    *out += ' ';
+    SerializeRec(doc, c, out);
+    ++first_non_attr;
+  }
+  if (first_non_attr == kids.size()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  for (size_t k = first_non_attr; k < kids.size(); ++k) {
+    SerializeRec(doc, kids[k], out);
+  }
+  *out += "</";
+  *out += n.label;
+  *out += '>';
+}
+
+}  // namespace
+
+std::string SerializeSubtree(const Document& doc, NodeIndex i) {
+  std::string out;
+  SerializeRec(doc, i, &out);
+  return out;
+}
+
+}  // namespace uload

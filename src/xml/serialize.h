@@ -1,0 +1,21 @@
+// Serialization of document subtrees back to XML markup ("content" in §1.1).
+#ifndef ULOAD_XML_SERIALIZE_H_
+#define ULOAD_XML_SERIALIZE_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace uload {
+
+class Document;
+
+// Serializes the subtree rooted at `i`:
+//  * elements: <tag a="v">...</tag> (self-closing when empty),
+//  * attributes: name="value" (matching Fig. 2.6),
+//  * text nodes: escaped character data.
+std::string SerializeSubtree(const Document& doc, NodeIndex i);
+
+}  // namespace uload
+
+#endif  // ULOAD_XML_SERIALIZE_H_

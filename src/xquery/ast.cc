@@ -1,0 +1,112 @@
+#include "xquery/ast.h"
+
+namespace uload {
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  if (!variable.empty()) {
+    out += variable;
+  } else if (!document.empty()) {
+    out += "doc(\"" + document + "\")";
+  }
+  for (const PathStep& s : steps) {
+    out += s.descendant ? "//" : "/";
+    out += s.label.empty() ? "*" : s.label;
+    for (const PathStep::Qualifier& q : s.qualifiers) {
+      out += "[";
+      if (q.rel_path) {
+        out += q.rel_path->ToString();
+      } else {
+        out += "text()";
+      }
+      if (q.has_comparison) {
+        out += " ";
+        out += ComparatorName(q.cmp);
+        out += " " + q.constant.ToString();
+      }
+      out += "]";
+    }
+  }
+  if (text_result) out += "/text()";
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kPath:
+      return path.ToString();
+    case Kind::kConcat: {
+      std::string out;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items[i]->ToString();
+      }
+      return out;
+    }
+    case Kind::kElement: {
+      std::string out = "<" + element.tag + ">{";
+      for (size_t i = 0; i < element.content.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += element.content[i]->ToString();
+      }
+      out += "}</" + element.tag + ">";
+      return out;
+    }
+    case Kind::kFlwr: {
+      std::string out = "for ";
+      for (size_t i = 0; i < flwr.bindings.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += flwr.bindings[i].variable + " in " +
+               flwr.bindings[i].path.ToString();
+      }
+      if (!flwr.where.empty()) {
+        out += " where ";
+        for (size_t i = 0; i < flwr.where.size(); ++i) {
+          if (i > 0) out += " and ";
+          const WhereCondition& w = flwr.where[i];
+          out += w.lhs.ToString();
+          if (w.has_comparison) {
+            out += " ";
+            out += ComparatorName(w.cmp);
+            out += " ";
+            out += w.rhs_is_path ? w.rhs.ToString() : w.constant.ToString();
+          }
+        }
+      }
+      out += " return " + flwr.ret->ToString();
+      return out;
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakePath(PathExpr p) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kPath;
+  e->path = std::move(p);
+  return e;
+}
+
+ExprPtr Expr::MakeConcat(std::vector<ExprPtr> items) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConcat;
+  e->items = std::move(items);
+  return e;
+}
+
+ExprPtr Expr::MakeElement(std::string tag, std::vector<ExprPtr> content) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kElement;
+  e->element.tag = std::move(tag);
+  e->element.content = std::move(content);
+  return e;
+}
+
+ExprPtr Expr::MakeFlwr(FlwrExpr flwr) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kFlwr;
+  e->flwr = std::move(flwr);
+  return e;
+}
+
+}  // namespace uload

@@ -1,0 +1,104 @@
+// AST of the XQuery fragment Q (thesis §3.2):
+//  1. core XPath{/,//,*,[]} with text() and value predicates,
+//  2. relative paths from variables,
+//  3. concatenation,
+//  4. element constructors,
+//  5. for-where-return blocks (arbitrarily nested in return clauses).
+#ifndef ULOAD_XQUERY_AST_H_
+#define ULOAD_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "algebra/value.h"
+
+namespace uload {
+
+struct PathExpr;
+
+// One navigation step: axis + node test, plus optional [ ] qualifiers.
+struct PathStep {
+  bool descendant = false;  // '//' vs '/'
+  // Node test: element tag, "@name" attribute test, or "" for '*'.
+  std::string label;
+
+  // A qualifier [rel-path], [rel-path θ c], or [text() θ c] (rel_path empty).
+  struct Qualifier {
+    std::shared_ptr<PathExpr> rel_path;  // may be null for bare [text() θ c]
+    bool has_comparison = false;
+    Comparator cmp = Comparator::kEq;
+    AtomicValue constant;
+  };
+  std::vector<Qualifier> qualifiers;
+};
+
+// An absolute (doc-rooted) or relative (variable-rooted) path.
+struct PathExpr {
+  std::string document;  // doc("...") name; empty when variable-rooted
+  std::string variable;  // "$x"; empty when absolute
+  std::vector<PathStep> steps;
+  bool text_result = false;  // ends in /text()
+
+  bool absolute() const { return variable.empty(); }
+  std::string ToString() const;
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+// A where-clause conjunct: path θ constant, path θ path, bare path
+// (existence), or `path contains "word"`.
+struct WhereCondition {
+  PathExpr lhs;
+  bool has_comparison = false;
+  Comparator cmp = Comparator::kEq;
+  bool rhs_is_path = false;
+  AtomicValue constant;
+  PathExpr rhs;
+};
+
+struct ForBinding {
+  std::string variable;  // "$x"
+  PathExpr path;
+};
+
+// let $v := path — a pure-path alias; every use of $v behaves like the
+// aliased path spliced in place (sequence semantics).
+struct LetBinding {
+  std::string variable;
+  PathExpr path;
+};
+
+struct FlwrExpr {
+  std::vector<ForBinding> bindings;
+  std::vector<LetBinding> lets;
+  std::vector<WhereCondition> where;  // conjunctive
+  ExprPtr ret;
+};
+
+struct ElementConstructor {
+  std::string tag;
+  std::vector<ExprPtr> content;  // concatenated
+};
+
+struct Expr {
+  enum class Kind { kPath, kConcat, kElement, kFlwr };
+  Kind kind = Kind::kPath;
+  PathExpr path;                  // kPath
+  std::vector<ExprPtr> items;     // kConcat
+  ElementConstructor element;     // kElement
+  FlwrExpr flwr;                  // kFlwr
+
+  std::string ToString() const;
+
+  static ExprPtr MakePath(PathExpr p);
+  static ExprPtr MakeConcat(std::vector<ExprPtr> items);
+  static ExprPtr MakeElement(std::string tag, std::vector<ExprPtr> content);
+  static ExprPtr MakeFlwr(FlwrExpr flwr);
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_XQUERY_AST_H_

@@ -1,0 +1,231 @@
+#include "xquery/interp.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace uload {
+namespace {
+
+bool LabelMatches(const Node& n, const std::string& label) {
+  if (label.empty()) return n.is_element();
+  if (label[0] == '@') return n.is_attribute() && n.label == label.substr(1);
+  return n.is_element() && n.label == label;
+}
+
+void Step(const Document& doc, const std::vector<NodeIndex>& from,
+          const PathStep& step, std::vector<NodeIndex>* out) {
+  for (NodeIndex f : from) {
+    if (step.descendant) {
+      std::vector<NodeIndex> work = doc.Children(f);
+      std::reverse(work.begin(), work.end());
+      while (!work.empty()) {
+        NodeIndex c = work.back();
+        work.pop_back();
+        if (LabelMatches(doc.node(c), step.label)) out->push_back(c);
+        std::vector<NodeIndex> kids = doc.Children(c);
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+          work.push_back(*it);
+        }
+      }
+    } else {
+      for (NodeIndex c : doc.Children(f)) {
+        if (LabelMatches(doc.node(c), step.label)) out->push_back(c);
+      }
+    }
+  }
+  // Distinct nodes in document order (== index order).
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+// Compares an XML node's value with a constant per XQuery untyped rules.
+bool ValueCompare(const Document& doc, NodeIndex n, Comparator cmp,
+                  const AtomicValue& c) {
+  AtomicValue v = AtomicValue::String(doc.Value(n));
+  return CompareAtoms(v, cmp, c);
+}
+
+Result<bool> QualifierHolds(const Document& doc, NodeIndex n,
+                            const PathStep::Qualifier& q, const VarEnv& env);
+
+Result<std::vector<NodeIndex>> EvalSteps(const Document& doc,
+                                         std::vector<NodeIndex> cur,
+                                         const std::vector<PathStep>& steps,
+                                         const VarEnv& env) {
+  for (const PathStep& s : steps) {
+    std::vector<NodeIndex> next;
+    Step(doc, cur, s, &next);
+    if (!s.qualifiers.empty()) {
+      std::vector<NodeIndex> kept;
+      for (NodeIndex n : next) {
+        bool ok = true;
+        for (const PathStep::Qualifier& q : s.qualifiers) {
+          ULOAD_ASSIGN_OR_RETURN(bool holds, QualifierHolds(doc, n, q, env));
+          if (!holds) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) kept.push_back(n);
+      }
+      next = std::move(kept);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Result<bool> QualifierHolds(const Document& doc, NodeIndex n,
+                            const PathStep::Qualifier& q, const VarEnv& env) {
+  if (!q.rel_path) {
+    // [text() θ c]
+    return ValueCompare(doc, n, q.cmp, q.constant);
+  }
+  ULOAD_ASSIGN_OR_RETURN(
+      std::vector<NodeIndex> matches,
+      EvalSteps(doc, {n}, q.rel_path->steps, env));
+  if (!q.has_comparison) return !matches.empty();
+  for (NodeIndex m : matches) {
+    if (ValueCompare(doc, m, q.cmp, q.constant)) return true;
+  }
+  return false;
+}
+
+class Interp {
+ public:
+  explicit Interp(const Document& doc) : doc_(doc) {}
+
+  Result<std::string> Eval(const Expr& e, VarEnv* env) {
+    std::string out;
+    ULOAD_RETURN_NOT_OK(EvalInto(e, env, &out));
+    return out;
+  }
+
+ private:
+  Status EvalInto(const Expr& e, VarEnv* env, std::string* out) {
+    switch (e.kind) {
+      case Expr::Kind::kPath: {
+        ULOAD_ASSIGN_OR_RETURN(std::vector<NodeIndex> nodes,
+                               EvalPathDirect(e.path, doc_, *env));
+        for (NodeIndex n : nodes) {
+          if (e.path.text_result || doc_.node(n).is_attribute()) {
+            // Standalone attribute nodes serialize as their value.
+            *out += XmlEscape(doc_.Value(n));
+          } else {
+            *out += doc_.Content(n);
+          }
+        }
+        return Status::Ok();
+      }
+      case Expr::Kind::kConcat: {
+        for (const ExprPtr& item : e.items) {
+          ULOAD_RETURN_NOT_OK(EvalInto(*item, env, out));
+        }
+        return Status::Ok();
+      }
+      case Expr::Kind::kElement: {
+        *out += "<" + e.element.tag + ">";
+        for (const ExprPtr& item : e.element.content) {
+          ULOAD_RETURN_NOT_OK(EvalInto(*item, env, out));
+        }
+        *out += "</" + e.element.tag + ">";
+        return Status::Ok();
+      }
+      case Expr::Kind::kFlwr:
+        return EvalFlwr(e.flwr, 0, env, out);
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Status EvalFlwr(const FlwrExpr& f, size_t binding_index, VarEnv* env,
+                  std::string* out) {
+    if (binding_index == f.bindings.size()) {
+      // All for-variables bound: register let aliases, check where, emit.
+      size_t alias_mark = env->aliases.size();
+      for (const LetBinding& lb : f.lets) {
+        env->aliases.emplace_back(lb.variable, &lb.path);
+      }
+      Status st = Status::Ok();
+      bool pass = true;
+      for (const WhereCondition& w : f.where) {
+        auto holds = WhereHolds(w, *env);
+        if (!holds.ok()) {
+          st = holds.status();
+          pass = false;
+          break;
+        }
+        if (!*holds) {
+          pass = false;
+          break;
+        }
+      }
+      if (st.ok() && pass) st = EvalInto(*f.ret, env, out);
+      env->aliases.resize(alias_mark);
+      return st;
+    }
+    const ForBinding& b = f.bindings[binding_index];
+    ULOAD_ASSIGN_OR_RETURN(std::vector<NodeIndex> nodes,
+                           EvalPathDirect(b.path, doc_, *env));
+    for (NodeIndex n : nodes) {
+      env->bindings.emplace_back(b.variable, n);
+      Status st = EvalFlwr(f, binding_index + 1, env, out);
+      env->bindings.pop_back();
+      ULOAD_RETURN_NOT_OK(st);
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> WhereHolds(const WhereCondition& w, const VarEnv& env) {
+    ULOAD_ASSIGN_OR_RETURN(std::vector<NodeIndex> lhs,
+                           EvalPathDirect(w.lhs, doc_, env));
+    if (!w.has_comparison) return !lhs.empty();
+    if (!w.rhs_is_path) {
+      for (NodeIndex n : lhs) {
+        if (ValueCompare(doc_, n, w.cmp, w.constant)) return true;
+      }
+      return false;
+    }
+    ULOAD_ASSIGN_OR_RETURN(std::vector<NodeIndex> rhs,
+                           EvalPathDirect(w.rhs, doc_, env));
+    for (NodeIndex a : lhs) {
+      AtomicValue va = AtomicValue::String(doc_.Value(a));
+      for (NodeIndex b : rhs) {
+        AtomicValue vb = AtomicValue::String(doc_.Value(b));
+        if (CompareAtoms(va, w.cmp, vb)) return true;
+      }
+    }
+    return false;
+  }
+
+  const Document& doc_;
+};
+
+}  // namespace
+
+Result<std::vector<NodeIndex>> EvalPathDirect(const PathExpr& p,
+                                              const Document& doc,
+                                              const VarEnv& env) {
+  std::vector<NodeIndex> start;
+  if (p.absolute()) {
+    start.push_back(doc.document_node());
+  } else if (const PathExpr* alias = env.LookupAlias(p.variable)) {
+    // Let alias: splice the aliased path in front of this one's steps.
+    ULOAD_ASSIGN_OR_RETURN(start, EvalPathDirect(*alias, doc, env));
+  } else {
+    NodeIndex n = env.Lookup(p.variable);
+    if (n == kNoNode) {
+      return Status::InvalidArgument("unbound variable " + p.variable);
+    }
+    start.push_back(n);
+  }
+  return EvalSteps(doc, std::move(start), p.steps, env);
+}
+
+Result<std::string> EvaluateQueryDirect(const Expr& q, const Document& doc) {
+  Interp interp(doc);
+  VarEnv env;
+  return interp.Eval(q, &env);
+}
+
+}  // namespace uload

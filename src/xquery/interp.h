@@ -1,0 +1,46 @@
+// Direct (navigational) interpreter for the Q fragment — the reference
+// semantics that the algebraic translation and all view-based rewritings are
+// tested against.
+#ifndef ULOAD_XQUERY_INTERP_H_
+#define ULOAD_XQUERY_INTERP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xquery/ast.h"
+
+namespace uload {
+
+// Serialized result of evaluating `q` against `doc`. All doc("...") calls
+// resolve to `doc`.
+Result<std::string> EvaluateQueryDirect(const Expr& q, const Document& doc);
+
+// Node set of a path expression under variable bindings (exposed for tests).
+struct VarEnv {
+  std::vector<std::pair<std::string, NodeIndex>> bindings;
+  // let aliases: variable -> aliased path (pure-path lets).
+  std::vector<std::pair<std::string, const PathExpr*>> aliases;
+
+  NodeIndex Lookup(const std::string& var) const {
+    for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+      if (it->first == var) return it->second;
+    }
+    return kNoNode;
+  }
+  const PathExpr* LookupAlias(const std::string& var) const {
+    for (auto it = aliases.rbegin(); it != aliases.rend(); ++it) {
+      if (it->first == var) return it->second;
+    }
+    return nullptr;
+  }
+};
+
+Result<std::vector<NodeIndex>> EvalPathDirect(const PathExpr& p,
+                                              const Document& doc,
+                                              const VarEnv& env);
+
+}  // namespace uload
+
+#endif  // ULOAD_XQUERY_INTERP_H_

@@ -1,0 +1,181 @@
+#include "xquery/lexer.h"
+
+#include <cctype>
+
+namespace uload {
+
+Result<std::vector<Token>> LexQuery(std::string_view in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto is_name_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_name_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  };
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (is_name_start(c)) {
+      size_t start = i;
+      while (i < in.size() && is_name_char(in[i])) ++i;
+      t.kind = TokenKind::kName;
+      t.text = std::string(in.substr(start, i - start));
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      size_t start = i;
+      ++i;
+      while (i < in.size() &&
+             (std::isdigit(static_cast<unsigned char>(in[i])) ||
+              in[i] == '.')) {
+        ++i;
+      }
+      t.kind = TokenKind::kNumber;
+      t.text = std::string(in.substr(start, i - start));
+      t.number = std::stod(t.text);
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '$': {
+        size_t start = i++;
+        while (i < in.size() && is_name_char(in[i])) ++i;
+        if (i == start + 1) {
+          return Status::ParseError("lone '$' at offset " +
+                                    std::to_string(start));
+        }
+        t.kind = TokenKind::kVariable;
+        t.text = std::string(in.substr(start, i - start));
+        break;
+      }
+      case '"':
+      case '\'': {
+        char quote = c;
+        ++i;
+        size_t start = i;
+        while (i < in.size() && in[i] != quote) ++i;
+        if (i >= in.size()) {
+          return Status::ParseError("unterminated string literal");
+        }
+        t.kind = TokenKind::kString;
+        t.text = std::string(in.substr(start, i - start));
+        ++i;
+        break;
+      }
+      case '/':
+        if (i + 1 < in.size() && in[i + 1] == '/') {
+          t.kind = TokenKind::kDoubleSlash;
+          i += 2;
+        } else {
+          t.kind = TokenKind::kSlash;
+          ++i;
+        }
+        break;
+      case '*':
+        t.kind = TokenKind::kStar;
+        ++i;
+        break;
+      case '[':
+        t.kind = TokenKind::kLBracket;
+        ++i;
+        break;
+      case ']':
+        t.kind = TokenKind::kRBracket;
+        ++i;
+        break;
+      case '(':
+        t.kind = TokenKind::kLParen;
+        ++i;
+        break;
+      case ')':
+        t.kind = TokenKind::kRParen;
+        ++i;
+        break;
+      case '{':
+        t.kind = TokenKind::kLBrace;
+        ++i;
+        break;
+      case '}':
+        t.kind = TokenKind::kRBrace;
+        ++i;
+        break;
+      case ',':
+        t.kind = TokenKind::kComma;
+        ++i;
+        break;
+      case '=':
+        t.kind = TokenKind::kEq;
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          t.kind = TokenKind::kNe;
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(i));
+        }
+        break;
+      case '<':
+        if (i + 1 < in.size() && in[i + 1] == '/') {
+          t.kind = TokenKind::kTagClose;
+          i += 2;
+        } else if (i + 1 < in.size() && is_name_start(in[i + 1])) {
+          t.kind = TokenKind::kTagOpen;
+          ++i;
+        } else if (i + 1 < in.size() && in[i + 1] == '=') {
+          t.kind = TokenKind::kLe;
+          i += 2;
+        } else {
+          t.kind = TokenKind::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          t.kind = TokenKind::kGe;
+          i += 2;
+        } else {
+          t.kind = TokenKind::kGt;
+          ++i;
+        }
+        break;
+      case '@':
+        t.kind = TokenKind::kAt;
+        ++i;
+        break;
+      case ':':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          // ':=' of let clauses, carried as a name token.
+          t.kind = TokenKind::kName;
+          t.text = ":=";
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected ':' at offset " +
+                                    std::to_string(i));
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = in.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace uload

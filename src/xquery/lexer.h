@@ -1,0 +1,55 @@
+// Tokenizer for the Q fragment.
+#ifndef ULOAD_XQUERY_LEXER_H_
+#define ULOAD_XQUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uload {
+
+enum class TokenKind {
+  kEnd,
+  kName,        // identifiers / keywords (for, in, where, return, and, doc)
+  kVariable,    // $x
+  kString,      // "..."
+  kNumber,
+  kSlash,       // /
+  kDoubleSlash,  // //
+  kStar,
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kEq,          // =
+  kNe,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAt,          // @
+  kTagOpen,     // < immediately followed by a name (constructor)
+  kTagClose,    // </
+  kTagEnd,      // > (inside constructor context; lexer emits kGt, parser
+                // disambiguates)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // names, variables (with $), strings (unquoted)
+  double number = 0;
+  size_t offset = 0;
+};
+
+// Tokenizes the whole input. '<' followed by a letter becomes kTagOpen;
+// "</" becomes kTagClose; other '<' is kLt.
+Result<std::vector<Token>> LexQuery(std::string_view input);
+
+}  // namespace uload
+
+#endif  // ULOAD_XQUERY_LEXER_H_

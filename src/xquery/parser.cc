@@ -1,0 +1,372 @@
+#include "xquery/parser.h"
+
+#include "xquery/lexer.h"
+
+namespace uload {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<ExprPtr> Run() {
+    ULOAD_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!At(TokenKind::kEnd)) {
+      return Err("trailing tokens after query");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  bool AtName(std::string_view s) const {
+    return Cur().kind == TokenKind::kName && Cur().text == s;
+  }
+  const Token& Take() { return toks_[pos_++]; }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Cur().offset) + ")");
+  }
+  Status Expect(TokenKind k, const std::string& what) {
+    if (!At(k)) return Err("expected " + what);
+    ++pos_;
+    return Status::Ok();
+  }
+
+  // Expr := Item (',' Item)*
+  Result<ExprPtr> ParseExpr() {
+    std::vector<ExprPtr> items;
+    ULOAD_ASSIGN_OR_RETURN(ExprPtr first, ParseItem());
+    items.push_back(std::move(first));
+    while (At(TokenKind::kComma)) {
+      Take();
+      ULOAD_ASSIGN_OR_RETURN(ExprPtr next, ParseItem());
+      items.push_back(std::move(next));
+    }
+    if (items.size() == 1) return items[0];
+    return Expr::MakeConcat(std::move(items));
+  }
+
+  // Item := Flwr | ElementCtor | '(' Expr ')' | PathExpr
+  Result<ExprPtr> ParseItem() {
+    if (AtName("for")) return ParseFlwr();
+    if (At(TokenKind::kTagOpen)) return ParseElement();
+    if (At(TokenKind::kLParen)) {
+      Take();
+      ULOAD_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      ULOAD_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return e;
+    }
+    ULOAD_ASSIGN_OR_RETURN(PathExpr p, ParsePath());
+    return Expr::MakePath(std::move(p));
+  }
+
+  Result<ExprPtr> ParseFlwr() {
+    Take();  // 'for'
+    FlwrExpr f;
+    for (;;) {
+      if (!At(TokenKind::kVariable)) return Err("expected variable after for");
+      ForBinding b;
+      b.variable = Take().text;
+      if (!AtName("in")) return Err("expected 'in'");
+      Take();
+      ULOAD_ASSIGN_OR_RETURN(b.path, ParsePath());
+      f.bindings.push_back(std::move(b));
+      if (At(TokenKind::kComma)) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    while (AtName("let")) {
+      Take();
+      for (;;) {
+        if (!At(TokenKind::kVariable)) {
+          return Err("expected variable after let");
+        }
+        LetBinding lb;
+        lb.variable = Take().text;
+        if (AtName(":=")) {
+          Take();
+        } else if (At(TokenKind::kEq)) {
+          Take();  // be lenient about 'let $v = path'
+        } else {
+          return Err("expected ':=' in let clause");
+        }
+        ULOAD_ASSIGN_OR_RETURN(lb.path, ParsePath());
+        f.lets.push_back(std::move(lb));
+        if (At(TokenKind::kComma)) {
+          Take();
+          continue;
+        }
+        break;
+      }
+    }
+    if (AtName("where")) {
+      Take();
+      for (;;) {
+        ULOAD_ASSIGN_OR_RETURN(WhereCondition c, ParseCondition());
+        f.where.push_back(std::move(c));
+        if (AtName("and")) {
+          Take();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!AtName("return")) return Err("expected 'return'");
+    Take();
+    ULOAD_ASSIGN_OR_RETURN(f.ret, ParseItem());
+    return Expr::MakeFlwr(std::move(f));
+  }
+
+  Result<WhereCondition> ParseCondition() {
+    WhereCondition c;
+    ULOAD_ASSIGN_OR_RETURN(c.lhs, ParsePath());
+    if (AtName("ftcontains") || AtName("contains")) {
+      Take();
+      if (!At(TokenKind::kString)) {
+        return Err("expected string after contains");
+      }
+      c.has_comparison = true;
+      c.cmp = Comparator::kContainsWord;
+      c.constant = AtomicValue::String(Take().text);
+      return c;
+    }
+    Comparator cmp;
+    switch (Cur().kind) {
+      case TokenKind::kEq:
+        cmp = Comparator::kEq;
+        break;
+      case TokenKind::kNe:
+        cmp = Comparator::kNe;
+        break;
+      case TokenKind::kLt:
+        cmp = Comparator::kLt;
+        break;
+      case TokenKind::kLe:
+        cmp = Comparator::kLe;
+        break;
+      case TokenKind::kGt:
+        cmp = Comparator::kGt;
+        break;
+      case TokenKind::kGe:
+        cmp = Comparator::kGe;
+        break;
+      default:
+        return c;  // bare existence condition
+    }
+    Take();
+    c.has_comparison = true;
+    c.cmp = cmp;
+    if (At(TokenKind::kString)) {
+      c.constant = AtomicValue::String(Take().text);
+    } else if (At(TokenKind::kNumber)) {
+      c.constant = AtomicValue::Number(Take().number);
+    } else if (At(TokenKind::kVariable) || AtName("doc") ||
+               AtName("document") || At(TokenKind::kSlash) ||
+               At(TokenKind::kDoubleSlash)) {
+      c.rhs_is_path = true;
+      ULOAD_ASSIGN_OR_RETURN(c.rhs, ParsePath());
+    } else {
+      return Err("expected constant or path after comparator");
+    }
+    return c;
+  }
+
+  Result<ExprPtr> ParseElement() {
+    Take();  // '<'
+    if (!At(TokenKind::kName)) return Err("expected tag name");
+    std::string tag = Take().text;
+    ULOAD_RETURN_NOT_OK(Expect(TokenKind::kGt, "'>'"));
+    std::vector<ExprPtr> content;
+    while (!At(TokenKind::kTagClose)) {
+      if (At(TokenKind::kLBrace)) {
+        Take();
+        ULOAD_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        ULOAD_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "'}'"));
+        content.push_back(std::move(e));
+      } else if (At(TokenKind::kTagOpen)) {
+        ULOAD_ASSIGN_OR_RETURN(ExprPtr e, ParseElement());
+        content.push_back(std::move(e));
+      } else if (At(TokenKind::kComma)) {
+        // Commas between enclosed expressions inside constructors are
+        // punctuation (XQuery requires braces, we are lenient).
+        Take();
+      } else {
+        return Err("unexpected token inside element constructor");
+      }
+    }
+    Take();  // '</'
+    if (!At(TokenKind::kName) || Cur().text != tag) {
+      return Err("mismatched close tag for <" + tag + ">");
+    }
+    Take();
+    ULOAD_RETURN_NOT_OK(Expect(TokenKind::kGt, "'>'"));
+    return Expr::MakeElement(std::move(tag), std::move(content));
+  }
+
+  // Path := ('$x' | doc '(' str ')' | ε) Steps ['/text()']
+  Result<PathExpr> ParsePath() {
+    PathExpr p;
+    if (At(TokenKind::kVariable)) {
+      p.variable = Take().text;
+    } else if (AtName("doc") || AtName("document")) {
+      Take();
+      ULOAD_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      if (!At(TokenKind::kString)) return Err("expected document name");
+      p.document = Take().text;
+      ULOAD_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    }
+    // Steps.
+    while (At(TokenKind::kSlash) || At(TokenKind::kDoubleSlash)) {
+      bool desc = At(TokenKind::kDoubleSlash);
+      Take();
+      // text() terminator?
+      if (AtName("text")) {
+        // Look ahead for '()'.
+        if (toks_[pos_ + 1].kind == TokenKind::kLParen &&
+            toks_[pos_ + 2].kind == TokenKind::kRParen) {
+          pos_ += 3;
+          if (desc) {
+            return Err("'//text()' is not in the supported fragment");
+          }
+          p.text_result = true;
+          break;
+        }
+      }
+      PathStep step;
+      step.descendant = desc;
+      if (At(TokenKind::kStar)) {
+        Take();
+      } else if (At(TokenKind::kAt)) {
+        Take();
+        if (!At(TokenKind::kName)) return Err("expected attribute name");
+        step.label = "@" + Take().text;
+      } else if (At(TokenKind::kName)) {
+        step.label = Take().text;
+      } else {
+        return Err("expected node test");
+      }
+      // Qualifiers.
+      while (At(TokenKind::kLBracket)) {
+        Take();
+        ULOAD_ASSIGN_OR_RETURN(PathStep::Qualifier q, ParseQualifier());
+        step.qualifiers.push_back(std::move(q));
+        ULOAD_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+      }
+      p.steps.push_back(std::move(step));
+    }
+    if (p.steps.empty() && !p.text_result && p.variable.empty()) {
+      return Err("expected path expression");
+    }
+    return p;
+  }
+
+  // Qualifier := RelPath (θ Const)? | text() θ Const
+  Result<PathStep::Qualifier> ParseQualifier() {
+    PathStep::Qualifier q;
+    bool bare_text = false;
+    if (AtName("text") && toks_[pos_ + 1].kind == TokenKind::kLParen &&
+        toks_[pos_ + 2].kind == TokenKind::kRParen) {
+      pos_ += 3;
+      bare_text = true;
+    } else {
+      // Relative path: steps without a leading slash; first axis is child.
+      auto rel = std::make_shared<PathExpr>();
+      for (;;) {
+        PathStep step;
+        if (At(TokenKind::kDoubleSlash)) {
+          // ".//x" style written as "//x" inside [].
+          Take();
+          step.descendant = true;
+        } else if (At(TokenKind::kSlash)) {
+          Take();
+        } else if (!rel->steps.empty()) {
+          break;
+        }
+        if (At(TokenKind::kStar)) {
+          Take();
+        } else if (At(TokenKind::kAt)) {
+          Take();
+          if (!At(TokenKind::kName)) return Err("expected attribute name");
+          step.label = "@" + Take().text;
+        } else if (At(TokenKind::kName)) {
+          if (AtName("text") &&
+              toks_[pos_ + 1].kind == TokenKind::kLParen &&
+              toks_[pos_ + 2].kind == TokenKind::kRParen) {
+            pos_ += 3;
+            rel->text_result = true;
+            break;
+          }
+          step.label = Take().text;
+        } else {
+          break;
+        }
+        rel->steps.push_back(std::move(step));
+        if (!At(TokenKind::kSlash) && !At(TokenKind::kDoubleSlash)) break;
+      }
+      if (rel->steps.empty() && !rel->text_result) {
+        return Err("empty qualifier");
+      }
+      q.rel_path = std::move(rel);
+    }
+    // Optional comparison.
+    Comparator cmp;
+    bool has = true;
+    switch (Cur().kind) {
+      case TokenKind::kEq:
+        cmp = Comparator::kEq;
+        break;
+      case TokenKind::kNe:
+        cmp = Comparator::kNe;
+        break;
+      case TokenKind::kLt:
+        cmp = Comparator::kLt;
+        break;
+      case TokenKind::kLe:
+        cmp = Comparator::kLe;
+        break;
+      case TokenKind::kGt:
+        cmp = Comparator::kGt;
+        break;
+      case TokenKind::kGe:
+        cmp = Comparator::kGe;
+        break;
+      default:
+        has = false;
+        cmp = Comparator::kEq;
+        break;
+    }
+    if (has) {
+      Take();
+      q.has_comparison = true;
+      q.cmp = cmp;
+      if (At(TokenKind::kString)) {
+        q.constant = AtomicValue::String(Take().text);
+      } else if (At(TokenKind::kNumber)) {
+        q.constant = AtomicValue::Number(Take().number);
+      } else {
+        return Err("expected constant in qualifier comparison");
+      }
+    }
+    if (bare_text && !q.has_comparison) {
+      return Err("bare [text()] qualifier needs a comparison");
+    }
+    return q;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseQuery(std::string_view text) {
+  ULOAD_ASSIGN_OR_RETURN(std::vector<Token> toks, LexQuery(text));
+  Parser p(std::move(toks));
+  return p.Run();
+}
+
+}  // namespace uload

@@ -1,0 +1,16 @@
+// Recursive-descent parser for the Q fragment (thesis §3.2).
+#ifndef ULOAD_XQUERY_PARSER_H_
+#define ULOAD_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace uload {
+
+Result<ExprPtr> ParseQuery(std::string_view text);
+
+}  // namespace uload
+
+#endif  // ULOAD_XQUERY_PARSER_H_

@@ -1,0 +1,21 @@
+#include "xquery/pattern_extract.h"
+
+#include "xquery/parser.h"
+
+namespace uload {
+
+Result<ExtractedPatterns> ExtractPatterns(const Expr& query) {
+  ULOAD_ASSIGN_OR_RETURN(Translation tr, TranslateQuery(query));
+  ExtractedPatterns out;
+  out.patterns = std::move(tr.patterns);
+  out.cross_predicates = std::move(tr.cross_predicates);
+  out.compensations = std::move(tr.compensations);
+  return out;
+}
+
+Result<ExtractedPatterns> ExtractPatterns(std::string_view query_text) {
+  ULOAD_ASSIGN_OR_RETURN(ExprPtr q, ParseQuery(query_text));
+  return ExtractPatterns(*q);
+}
+
+}  // namespace uload

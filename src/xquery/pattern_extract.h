@@ -1,0 +1,30 @@
+// Convenience wrapper for the pattern-extraction side of the translation
+// (thesis §3.3.3): the maximal XAM query patterns of a Q query, spanning
+// nested FLWR blocks, plus the compensating selections that adapt them.
+#ifndef ULOAD_XQUERY_PATTERN_EXTRACT_H_
+#define ULOAD_XQUERY_PATTERN_EXTRACT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xam/xam.h"
+#include "xquery/translate.h"
+
+namespace uload {
+
+struct ExtractedPatterns {
+  std::vector<Xam> patterns;
+  std::vector<PredicatePtr> cross_predicates;
+  std::vector<PredicatePtr> compensations;
+};
+
+// Parses and translates `query_text`, returning the query patterns.
+Result<ExtractedPatterns> ExtractPatterns(std::string_view query_text);
+
+Result<ExtractedPatterns> ExtractPatterns(const Expr& query);
+
+}  // namespace uload
+
+#endif  // ULOAD_XQUERY_PATTERN_EXTRACT_H_

@@ -1,0 +1,195 @@
+// Algebra basics: atomic values, comparisons, tuples, relations, predicates
+// and XML construction templates.
+#include <gtest/gtest.h>
+
+#include "algebra/predicate.h"
+#include "algebra/relation.h"
+#include "algebra/xml_template.h"
+
+namespace uload {
+namespace {
+
+TEST(AtomicValues, KindsAndAccessors) {
+  EXPECT_TRUE(AtomicValue::Null().is_null());
+  EXPECT_EQ(AtomicValue::String("x").as_string(), "x");
+  EXPECT_EQ(AtomicValue::Number(3.5).as_number(), 3.5);
+  AtomicValue sid = AtomicValue::Sid(StructuralId{1, 2, 3});
+  EXPECT_TRUE(sid.is_id());
+  EXPECT_EQ(sid.sid().post, 2u);
+  AtomicValue dew = AtomicValue::Dewey(DeweyId{1, 4});
+  EXPECT_TRUE(dew.is_id());
+}
+
+TEST(AtomicValues, UntypedEqualityCoercion) {
+  EXPECT_TRUE(AtomicValue::String("30") == AtomicValue::Number(30));
+  EXPECT_TRUE(AtomicValue::Number(30) == AtomicValue::String("30"));
+  EXPECT_FALSE(AtomicValue::String("30a") == AtomicValue::Number(30));
+  EXPECT_TRUE(AtomicValue::String("a") == AtomicValue::String("a"));
+  EXPECT_FALSE(AtomicValue::Null() == AtomicValue::Number(0));
+}
+
+TEST(AtomicValues, TotalOrder) {
+  EXPECT_LT(AtomicValue::Compare(AtomicValue::Number(1),
+                                 AtomicValue::Number(2)),
+            0);
+  EXPECT_LT(AtomicValue::Compare(AtomicValue::String("10"),
+                                 AtomicValue::Number(30)),
+            0);  // numeric coercion
+  EXPECT_LT(AtomicValue::Compare(AtomicValue::String("a"),
+                                 AtomicValue::String("b")),
+            0);
+  // Ids order by document order.
+  EXPECT_LT(AtomicValue::Compare(AtomicValue::Sid({1, 5, 1}),
+                                 AtomicValue::Sid({3, 2, 2})),
+            0);
+  EXPECT_LT(AtomicValue::Compare(AtomicValue::Dewey({1, 1}),
+                                 AtomicValue::Dewey({1, 2})),
+            0);
+}
+
+TEST(AtomicValues, StructuralPredicates) {
+  AtomicValue parent = AtomicValue::Sid({1, 9, 1});
+  AtomicValue child = AtomicValue::Sid({2, 3, 2});
+  AtomicValue grandchild = AtomicValue::Sid({3, 1, 3});
+  EXPECT_TRUE(AtomicValue::IsParentOf(parent, child));
+  EXPECT_TRUE(AtomicValue::IsAncestorOf(parent, grandchild));
+  EXPECT_FALSE(AtomicValue::IsParentOf(parent, grandchild));
+  // Mixed representations never relate.
+  EXPECT_FALSE(
+      AtomicValue::IsAncestorOf(parent, AtomicValue::Dewey({1, 1, 1})));
+  EXPECT_TRUE(AtomicValue::IsAncestorOf(AtomicValue::Dewey({1}),
+                                        AtomicValue::Dewey({1, 2, 1})));
+  EXPECT_TRUE(AtomicValue::IsParentOf(AtomicValue::Dewey({1, 2}),
+                                      AtomicValue::Dewey({1, 2, 1})));
+}
+
+TEST(Predicates, CompareAtomsSemantics) {
+  EXPECT_TRUE(CompareAtoms(AtomicValue::Number(3), Comparator::kLt,
+                           AtomicValue::Number(5)));
+  EXPECT_FALSE(CompareAtoms(AtomicValue::Null(), Comparator::kEq,
+                            AtomicValue::Null()));  // null compares false
+  EXPECT_TRUE(CompareAtoms(AtomicValue::String("red fox"),
+                           Comparator::kContainsWord,
+                           AtomicValue::String("fox")));
+  EXPECT_FALSE(CompareAtoms(AtomicValue::String("foxtrot"),
+                            Comparator::kContainsWord,
+                            AtomicValue::String("fox")));
+}
+
+TEST(Predicates, NestedExistentialEval) {
+  SchemaPtr inner = Schema::Make({Attribute::Atomic("v")});
+  SchemaPtr schema = Schema::Make(
+      {Attribute::Atomic("k"), Attribute::Collection("c", inner)});
+  Tuple t;
+  t.fields.emplace_back(AtomicValue::Number(1));
+  TupleList coll;
+  for (double v : {2.0, 7.0}) {
+    Tuple s;
+    s.fields.emplace_back(AtomicValue::Number(v));
+    coll.push_back(std::move(s));
+  }
+  t.fields.emplace_back(std::move(coll));
+
+  auto exists7 = Predicate::CompareConst("c.v", Comparator::kEq,
+                                         AtomicValue::Number(7));
+  auto exists9 = Predicate::CompareConst("c.v", Comparator::kEq,
+                                         AtomicValue::Number(9));
+  auto r7 = exists7->Eval(*schema, t);
+  auto r9 = exists9->Eval(*schema, t);
+  ASSERT_TRUE(r7.ok() && r9.ok());
+  EXPECT_TRUE(*r7);
+  EXPECT_FALSE(*r9);
+
+  auto both = Predicate::And(exists7, Predicate::Not(exists9));
+  auto rb = both->Eval(*schema, t);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(*rb);
+
+  auto isnull = Predicate::IsNull("k");
+  auto notnull = Predicate::NotNull("k");
+  EXPECT_FALSE(*isnull->Eval(*schema, t));
+  EXPECT_TRUE(*notnull->Eval(*schema, t));
+}
+
+TEST(Relations, SortDedupEquality) {
+  NestedRelation r(Schema::Make({Attribute::Atomic("x")}));
+  for (double v : {3.0, 1.0, 2.0, 1.0}) {
+    Tuple t;
+    t.fields.emplace_back(AtomicValue::Number(v));
+    r.Add(std::move(t));
+  }
+  NestedRelation sorted = r;
+  sorted.Sort();
+  EXPECT_EQ(sorted.tuple(0).fields[0].atom().as_number(), 1.0);
+  NestedRelation dedup = r;
+  dedup.Deduplicate();
+  EXPECT_EQ(dedup.size(), 3);
+  // Dedup preserves first-occurrence order: 3, 1, 2.
+  EXPECT_EQ(dedup.tuple(0).fields[0].atom().as_number(), 3.0);
+  EXPECT_TRUE(r.EqualsUnordered(r));
+  EXPECT_FALSE(r.Equals(sorted));
+}
+
+TEST(Templates, ElementsValuesIterationAbsolute) {
+  SchemaPtr inner = Schema::Make({Attribute::Atomic("v")});
+  SchemaPtr schema = Schema::Make(
+      {Attribute::Atomic("name"), Attribute::Collection("kids", inner)});
+  NestedRelation rel(schema);
+  Tuple t;
+  t.fields.emplace_back(AtomicValue::String("A&B"));
+  TupleList kids;
+  for (const char* v : {"x", "y"}) {
+    Tuple s;
+    s.fields.emplace_back(AtomicValue::String(v));
+    kids.push_back(std::move(s));
+  }
+  t.fields.emplace_back(std::move(kids));
+  rel.Add(std::move(t));
+
+  XmlTemplate templ;
+  templ.roots.push_back(TemplateNode::Element(
+      "r",
+      {TemplateNode::ValueRef("name"),
+       TemplateNode::Element("k", {TemplateNode::ValueRef("v")}, "kids"),
+       TemplateNode::Group({TemplateNode::ValueRef("name",
+                                                   /*raw=*/false,
+                                                   /*absolute=*/true)},
+                           "kids")}));
+  auto out = ApplyTemplate(templ, rel);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Escaping, per-kid <k> elements, and the absolute ref resolving to the
+  // root tuple from inside the iterate scope (twice).
+  EXPECT_EQ(*out, "<r>A&amp;B<k>x</k><k>y</k>A&amp;BA&amp;B</r>");
+}
+
+TEST(Templates, RawContentNotEscaped) {
+  SchemaPtr schema = Schema::Make({Attribute::Atomic("c")});
+  NestedRelation rel(schema);
+  Tuple t;
+  t.fields.emplace_back(AtomicValue::String("<b>bold</b>"));
+  rel.Add(std::move(t));
+  XmlTemplate templ;
+  templ.roots.push_back(TemplateNode::ValueRef("c", /*raw=*/true));
+  auto out = ApplyTemplate(templ, rel);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<b>bold</b>");
+}
+
+TEST(Schemas, PathsAndConcat) {
+  SchemaPtr inner = Schema::Make({Attribute::Atomic("v")});
+  SchemaPtr a = Schema::Make(
+      {Attribute::Atomic("x"), Attribute::Collection("c", inner)});
+  SchemaPtr b = Schema::Make({Attribute::Atomic("x")});
+  SchemaPtr cat = Schema::Concat(*a, *b);
+  EXPECT_EQ(cat->attr(2).name, "x#");  // clash suffixed
+
+  auto path = ResolveAttrPath(*a, "c.v");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 2u);
+  EXPECT_EQ(CollectionDepth(*a, *path), 1);
+  EXPECT_FALSE(ResolveAttrPath(*a, "x.v").ok());  // atomic crossed
+  EXPECT_FALSE(ResolveAttrPath(*a, "zz").ok());
+}
+
+}  // namespace
+}  // namespace uload

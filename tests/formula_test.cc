@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "xam/formula.h"
+
+namespace uload {
+namespace {
+
+AtomicValue N(double d) { return AtomicValue::Number(d); }
+AtomicValue S(const std::string& s) { return AtomicValue::String(s); }
+
+TEST(Formula, TrueFalseBasics) {
+  EXPECT_TRUE(ValueFormula::True().IsTrue());
+  EXPECT_TRUE(ValueFormula::False().IsFalse());
+  EXPECT_TRUE(ValueFormula::True().Not().IsFalse());
+  EXPECT_TRUE(ValueFormula::False().Not().IsTrue());
+}
+
+TEST(Formula, AtomSatisfaction) {
+  ValueFormula lt5 = ValueFormula::Atom(Comparator::kLt, N(5));
+  EXPECT_TRUE(lt5.SatisfiedBy(N(4)));
+  EXPECT_FALSE(lt5.SatisfiedBy(N(5)));
+  ValueFormula le5 = ValueFormula::Atom(Comparator::kLe, N(5));
+  EXPECT_TRUE(le5.SatisfiedBy(N(5)));
+  ValueFormula eq = ValueFormula::Equals(S("web"));
+  EXPECT_TRUE(eq.SatisfiedBy(S("web")));
+  EXPECT_FALSE(eq.SatisfiedBy(S("Web")));
+  ValueFormula ne = ValueFormula::Atom(Comparator::kNe, N(3));
+  EXPECT_TRUE(ne.SatisfiedBy(N(2)));
+  EXPECT_FALSE(ne.SatisfiedBy(N(3)));
+  EXPECT_TRUE(ne.SatisfiedBy(N(4)));
+}
+
+TEST(Formula, ConjunctionIntervals) {
+  ValueFormula f = ValueFormula::Atom(Comparator::kGt, N(1))
+                       .And(ValueFormula::Atom(Comparator::kLt, N(5)));
+  EXPECT_TRUE(f.SatisfiedBy(N(3)));
+  EXPECT_FALSE(f.SatisfiedBy(N(1)));
+  EXPECT_FALSE(f.SatisfiedBy(N(5)));
+  // Contradiction.
+  ValueFormula g = ValueFormula::Atom(Comparator::kLt, N(1))
+                       .And(ValueFormula::Atom(Comparator::kGt, N(5)));
+  EXPECT_TRUE(g.IsFalse());
+}
+
+TEST(Formula, DisjunctionMerging) {
+  ValueFormula f = ValueFormula::Atom(Comparator::kLe, N(2))
+                       .Or(ValueFormula::Atom(Comparator::kGe, N(2)));
+  EXPECT_TRUE(f.IsTrue());
+  ValueFormula g = ValueFormula::Atom(Comparator::kLt, N(2))
+                       .Or(ValueFormula::Atom(Comparator::kGt, N(2)));
+  EXPECT_FALSE(g.IsTrue());
+  EXPECT_FALSE(g.SatisfiedBy(N(2)));
+}
+
+TEST(Formula, NegationRoundTrip) {
+  ValueFormula f = ValueFormula::Atom(Comparator::kGe, N(3))
+                       .And(ValueFormula::Atom(Comparator::kLt, N(7)));
+  ValueFormula nf = f.Not();
+  EXPECT_TRUE(nf.SatisfiedBy(N(2)));
+  EXPECT_FALSE(nf.SatisfiedBy(N(3)));
+  EXPECT_TRUE(nf.SatisfiedBy(N(7)));
+  EXPECT_TRUE(nf.Not().EquivalentTo(f));
+}
+
+TEST(Formula, Implication) {
+  ValueFormula narrow = ValueFormula::Atom(Comparator::kGt, N(2))
+                            .And(ValueFormula::Atom(Comparator::kLt, N(4)));
+  ValueFormula wide = ValueFormula::Atom(Comparator::kGt, N(1));
+  EXPECT_TRUE(narrow.Implies(wide));
+  EXPECT_FALSE(wide.Implies(narrow));
+  EXPECT_TRUE(ValueFormula::False().Implies(narrow));
+  EXPECT_TRUE(narrow.Implies(ValueFormula::True()));
+  // v=3 implies (v>1 or v<0).
+  ValueFormula disj = ValueFormula::Atom(Comparator::kGt, N(1))
+                          .Or(ValueFormula::Atom(Comparator::kLt, N(0)));
+  EXPECT_TRUE(ValueFormula::Equals(N(3)).Implies(disj));
+  EXPECT_FALSE(ValueFormula::Equals(N(0.5)).Implies(disj));
+}
+
+TEST(Formula, ThesisSection442Example) {
+  // φ_(t''φ2) = (v6 > 0) and the union check against (v6 < 5) ∨ (v6 > 2):
+  // single-variable version: v>0 ⇒ (v<5 ∨ v>2) holds since intervals cover.
+  ValueFormula gt0 = ValueFormula::Atom(Comparator::kGt, N(0));
+  ValueFormula cover = ValueFormula::Atom(Comparator::kLt, N(5))
+                           .Or(ValueFormula::Atom(Comparator::kGt, N(2)));
+  EXPECT_TRUE(gt0.Implies(cover));
+}
+
+TEST(Formula, Witness) {
+  ValueFormula f = ValueFormula::Atom(Comparator::kGt, N(10))
+                       .And(ValueFormula::Atom(Comparator::kLt, N(12)));
+  AtomicValue w = f.Witness();
+  EXPECT_TRUE(f.SatisfiedBy(w));
+  EXPECT_TRUE(ValueFormula::Equals(S("x")).SatisfiedBy(
+      ValueFormula::Equals(S("x")).Witness()));
+  EXPECT_TRUE(ValueFormula::False().Witness().is_null());
+  ValueFormula open = ValueFormula::Atom(Comparator::kGt, N(7));
+  EXPECT_TRUE(open.SatisfiedBy(open.Witness()));
+  ValueFormula below = ValueFormula::Atom(Comparator::kLt, N(7));
+  EXPECT_TRUE(below.SatisfiedBy(below.Witness()));
+}
+
+TEST(Formula, SingleEquality) {
+  AtomicValue c;
+  EXPECT_TRUE(ValueFormula::Equals(N(1999)).IsSingleEquality(&c));
+  EXPECT_TRUE(c == N(1999));
+  EXPECT_FALSE(ValueFormula::Atom(Comparator::kLt, N(5)).IsSingleEquality(&c));
+  EXPECT_FALSE(ValueFormula::True().IsSingleEquality(&c));
+}
+
+TEST(Formula, StringOrdering) {
+  ValueFormula f = ValueFormula::Atom(Comparator::kGe, S("b"));
+  EXPECT_TRUE(f.SatisfiedBy(S("c")));
+  EXPECT_FALSE(f.SatisfiedBy(S("a")));
+}
+
+// Property sweep: random interval formulas obey boolean algebra laws.
+class FormulaProperty : public ::testing::TestWithParam<int> {};
+
+ValueFormula RandomFormula(unsigned* seed) {
+  auto next = [&]() {
+    *seed = *seed * 1103515245 + 12345;
+    return (*seed >> 16) & 0x7fff;
+  };
+  ValueFormula f = ValueFormula::False();
+  int atoms = 1 + next() % 3;
+  for (int i = 0; i < atoms; ++i) {
+    Comparator cmps[] = {Comparator::kEq, Comparator::kNe, Comparator::kLt,
+                         Comparator::kLe, Comparator::kGt, Comparator::kGe};
+    ValueFormula atom =
+        ValueFormula::Atom(cmps[next() % 6], N(next() % 10));
+    f = (next() % 2 == 0) ? f.Or(atom) : f.And(atom).Or(atom);
+  }
+  return f;
+}
+
+TEST_P(FormulaProperty, BooleanLaws) {
+  unsigned seed = GetParam() * 2654435761u + 17;
+  ValueFormula a = RandomFormula(&seed);
+  ValueFormula b = RandomFormula(&seed);
+  // De Morgan.
+  EXPECT_TRUE(a.And(b).Not().EquivalentTo(a.Not().Or(b.Not())));
+  EXPECT_TRUE(a.Or(b).Not().EquivalentTo(a.Not().And(b.Not())));
+  // Double negation.
+  EXPECT_TRUE(a.Not().Not().EquivalentTo(a));
+  // Absorption.
+  EXPECT_TRUE(a.And(a.Or(b)).EquivalentTo(a));
+  EXPECT_TRUE(a.Or(a.And(b)).EquivalentTo(a));
+  // Implication is reflexive and respects conjunction.
+  EXPECT_TRUE(a.Implies(a));
+  EXPECT_TRUE(a.And(b).Implies(a));
+  EXPECT_TRUE(a.Implies(a.Or(b)));
+  // Pointwise agreement on sample values.
+  for (int v = -2; v <= 12; ++v) {
+    bool lhs = a.And(b).SatisfiedBy(N(v));
+    EXPECT_EQ(lhs, a.SatisfiedBy(N(v)) && b.SatisfiedBy(N(v)));
+    bool rhs = a.Or(b).SatisfiedBy(N(v));
+    EXPECT_EQ(rhs, a.SatisfiedBy(N(v)) || b.SatisfiedBy(N(v)));
+    EXPECT_EQ(a.Not().SatisfiedBy(N(v)), !a.SatisfiedBy(N(v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, FormulaProperty,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace uload

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "summary/path_summary.h"
+#include "xml/document.h"
+
+namespace uload {
+namespace {
+
+constexpr const char* kLibrary = R"(
+<library>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Suciu</author>
+  </book>
+  <book>
+    <title>The Syntactic Web</title>
+    <author>Tom Lerners-Bee</author>
+  </book>
+  <phdthesis year="2004">
+    <title>The Web: next generation</title>
+    <author>Jim Smith</author>
+  </phdthesis>
+</library>
+)";
+
+class SummaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = Document::Parse(kLibrary);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    doc_ = std::move(parsed).value();
+    summary_ = PathSummary::Build(&doc_);
+  }
+  Document doc_;
+  PathSummary summary_;
+};
+
+TEST_F(SummaryTest, OneNodePerPath) {
+  // Paths: /library, /library/book, /library/book/@year,
+  // /library/book/title, /library/book/title/#text, /library/book/author,
+  // /library/book/author/#text, /library/phdthesis (+ its 5 sub-paths),
+  // plus the document node.
+  EXPECT_EQ(summary_.NodeByPath({"library"}), summary_.root());
+  SummaryNodeId book = summary_.NodeByPath({"library", "book"});
+  ASSERT_NE(book, kNoSummaryNode);
+  // Both book elements map to one summary node.
+  EXPECT_EQ(summary_.node(book).cardinality, 2);
+  SummaryNodeId year = summary_.NodeByPath({"library", "book", "@year"});
+  ASSERT_NE(year, kNoSummaryNode);
+  EXPECT_EQ(summary_.node(year).cardinality, 1);
+}
+
+TEST_F(SummaryTest, PhiAnnotatesDocumentNodes) {
+  SummaryNodeId book = summary_.NodeByPath({"library", "book"});
+  NodeIndex b1 = doc_.Children(doc_.root())[0];
+  NodeIndex b2 = doc_.Children(doc_.root())[1];
+  EXPECT_EQ(doc_.node(b1).path_id, book);
+  EXPECT_EQ(doc_.node(b2).path_id, book);
+}
+
+TEST_F(SummaryTest, EdgeAnnotations) {
+  // Every book has exactly one title -> edge annotated '1'.
+  SummaryNodeId title = summary_.NodeByPath({"library", "book", "title"});
+  EXPECT_EQ(summary_.node(title).annotation, EdgeAnnotation::kOne);
+  // Every book has >= 1 author, one has 2 -> '+'.
+  SummaryNodeId author = summary_.NodeByPath({"library", "book", "author"});
+  EXPECT_EQ(summary_.node(author).annotation, EdgeAnnotation::kPlus);
+  // Only one of two books has @year -> '*'.
+  SummaryNodeId year = summary_.NodeByPath({"library", "book", "@year"});
+  EXPECT_EQ(summary_.node(year).annotation, EdgeAnnotation::kStar);
+}
+
+TEST_F(SummaryTest, AncestorQueries) {
+  SummaryNodeId lib = summary_.root();
+  SummaryNodeId title = summary_.NodeByPath({"library", "book", "title"});
+  SummaryNodeId book = summary_.NodeByPath({"library", "book"});
+  EXPECT_TRUE(summary_.IsAncestor(lib, title));
+  EXPECT_TRUE(summary_.IsParent(book, title));
+  EXPECT_FALSE(summary_.IsAncestor(title, book));
+}
+
+TEST_F(SummaryTest, DescendantsByLabel) {
+  SummaryNodeId lib = summary_.root();
+  std::vector<SummaryNodeId> titles = summary_.Descendants(lib, "title");
+  EXPECT_EQ(titles.size(), 2u);  // book/title and phdthesis/title
+  std::vector<SummaryNodeId> any = summary_.Descendants(lib, "");
+  // All element+attribute descendants of /library.
+  EXPECT_GT(any.size(), 6u);
+}
+
+TEST_F(SummaryTest, PathStrings) {
+  SummaryNodeId title = summary_.NodeByPath({"library", "book", "title"});
+  EXPECT_EQ(summary_.PathString(title), "/library/book/title");
+}
+
+TEST_F(SummaryTest, NodesWithLabel) {
+  EXPECT_EQ(summary_.NodesWithLabel("title").size(), 2u);
+  EXPECT_EQ(summary_.NodesWithLabel("book").size(), 1u);
+  EXPECT_EQ(summary_.NodesWithLabel("nope").size(), 0u);
+}
+
+TEST_F(SummaryTest, StrongEdgeCountsIncludeOneToOne) {
+  EXPECT_GT(summary_.strong_edge_count(), 0);
+  EXPECT_GE(summary_.strong_edge_count(), summary_.one_to_one_edge_count());
+}
+
+TEST_F(SummaryTest, ConformanceOfOwnDocument) {
+  EXPECT_TRUE(summary_.Conforms(doc_));
+}
+
+TEST_F(SummaryTest, NonConformingDocument) {
+  auto other = Document::Parse("<library><journal/></library>");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(summary_.Conforms(*other));
+}
+
+TEST_F(SummaryTest, ConformingSubDocument) {
+  // A document with a subset of paths that satisfies the annotations:
+  // book needs title (1) and author (+).
+  auto other = Document::Parse(
+      "<library><book><title>t</title><author>a</author></book></library>");
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(summary_.Conforms(*other));
+}
+
+TEST_F(SummaryTest, AllOneToOneBetween) {
+  SummaryNodeId lib = summary_.root();
+  SummaryNodeId book = summary_.NodeByPath({"library", "book"});
+  SummaryNodeId title = summary_.NodeByPath({"library", "book", "title"});
+  // book -> title is 1; library -> book is not (two books under one library
+  // still means ">= 1 per instance"... it is '+' at best, not '1').
+  EXPECT_TRUE(summary_.AllOneToOneBetween(book, title));
+  EXPECT_FALSE(summary_.AllOneToOneBetween(lib, title));
+}
+
+TEST(SummaryScaling, SummaryMuchSmallerThanDocument) {
+  // Repeating structure: many books, one summary path set.
+  std::string xml = "<lib>";
+  for (int i = 0; i < 200; ++i) {
+    xml += "<book><title>t</title><author>a</author></book>";
+  }
+  xml += "</lib>";
+  auto doc = Document::Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  Document d = std::move(doc).value();
+  PathSummary s = PathSummary::Build(&d);
+  EXPECT_LT(s.size(), 10);
+  EXPECT_GT(d.element_count(), 400);
+}
+
+}  // namespace
+}  // namespace uload
+
+namespace uload {
+namespace {
+
+TEST(SummarySerialization, RoundTrip) {
+  auto parsed = Document::Parse(
+      "<lib><book year=\"1999\"><title>t</title><author>a</author>"
+      "<author>b</author></book><book><title>u</title><author>c</author>"
+      "</book></lib>");
+  ASSERT_TRUE(parsed.ok());
+  Document doc = std::move(parsed).value();
+  PathSummary s = PathSummary::Build(&doc);
+  std::string text = s.Serialize();
+  auto restored = PathSummary::Deserialize(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), s.size());
+  for (SummaryNodeId id = 0; id < s.size(); ++id) {
+    EXPECT_EQ(restored->node(id).label, s.node(id).label);
+    EXPECT_EQ(restored->node(id).parent, s.node(id).parent);
+    EXPECT_EQ(restored->node(id).annotation, s.node(id).annotation);
+    EXPECT_EQ(restored->node(id).cardinality, s.node(id).cardinality);
+    EXPECT_EQ(restored->node(id).depth, s.node(id).depth);
+  }
+  EXPECT_EQ(restored->strong_edge_count(), s.strong_edge_count());
+  EXPECT_EQ(restored->one_to_one_edge_count(), s.one_to_one_edge_count());
+  // Structure queries behave identically.
+  EXPECT_EQ(restored->PathString(restored->NodeByPath({"lib", "book"})),
+            "/lib/book");
+  EXPECT_TRUE(restored->IsAncestor(restored->root(),
+                                   restored->NodeByPath(
+                                       {"lib", "book", "title"})));
+}
+
+TEST(SummarySerialization, RejectsGarbage) {
+  EXPECT_FALSE(PathSummary::Deserialize("nonsense").ok());
+  EXPECT_FALSE(PathSummary::Deserialize("summary 5\n0 -1 0 2 1 a\n").ok());
+}
+
+}  // namespace
+}  // namespace uload
