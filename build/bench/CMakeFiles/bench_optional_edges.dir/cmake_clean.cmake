@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optional_edges.dir/bench_optional_edges.cc.o"
+  "CMakeFiles/bench_optional_edges.dir/bench_optional_edges.cc.o.d"
+  "bench_optional_edges"
+  "bench_optional_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optional_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pattern_extraction.dir/bench_pattern_extraction.cc.o"
+  "CMakeFiles/bench_pattern_extraction.dir/bench_pattern_extraction.cc.o.d"
+  "bench_pattern_extraction"
+  "bench_pattern_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pattern_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_structural_joins.dir/bench_structural_joins.cc.o"
+  "CMakeFiles/bench_structural_joins.dir/bench_structural_joins.cc.o.d"
+  "bench_structural_joins"
+  "bench_structural_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structural_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summary_stats.dir/bench_summary_stats.cc.o"
+  "CMakeFiles/bench_summary_stats.dir/bench_summary_stats.cc.o.d"
+  "bench_summary_stats"
+  "bench_summary_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

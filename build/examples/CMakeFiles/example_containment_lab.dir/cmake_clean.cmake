@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_containment_lab.dir/containment_lab.cpp.o"
+  "CMakeFiles/example_containment_lab.dir/containment_lab.cpp.o.d"
+  "example_containment_lab"
+  "example_containment_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_containment_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

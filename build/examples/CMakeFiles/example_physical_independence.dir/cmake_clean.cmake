@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_physical_independence.dir/physical_independence.cpp.o"
+  "CMakeFiles/example_physical_independence.dir/physical_independence.cpp.o.d"
+  "example_physical_independence"
+  "example_physical_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_physical_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_storage_zoo.dir/storage_zoo.cpp.o"
+  "CMakeFiles/example_storage_zoo.dir/storage_zoo.cpp.o.d"
+  "example_storage_zoo"
+  "example_storage_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_storage_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

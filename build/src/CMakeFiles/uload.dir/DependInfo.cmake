@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/logical_plan.cc" "src/CMakeFiles/uload.dir/algebra/logical_plan.cc.o" "gcc" "src/CMakeFiles/uload.dir/algebra/logical_plan.cc.o.d"
+  "/root/repo/src/algebra/predicate.cc" "src/CMakeFiles/uload.dir/algebra/predicate.cc.o" "gcc" "src/CMakeFiles/uload.dir/algebra/predicate.cc.o.d"
+  "/root/repo/src/algebra/relation.cc" "src/CMakeFiles/uload.dir/algebra/relation.cc.o" "gcc" "src/CMakeFiles/uload.dir/algebra/relation.cc.o.d"
+  "/root/repo/src/algebra/schema.cc" "src/CMakeFiles/uload.dir/algebra/schema.cc.o" "gcc" "src/CMakeFiles/uload.dir/algebra/schema.cc.o.d"
+  "/root/repo/src/algebra/tuple.cc" "src/CMakeFiles/uload.dir/algebra/tuple.cc.o" "gcc" "src/CMakeFiles/uload.dir/algebra/tuple.cc.o.d"
+  "/root/repo/src/algebra/value.cc" "src/CMakeFiles/uload.dir/algebra/value.cc.o" "gcc" "src/CMakeFiles/uload.dir/algebra/value.cc.o.d"
+  "/root/repo/src/algebra/xml_template.cc" "src/CMakeFiles/uload.dir/algebra/xml_template.cc.o" "gcc" "src/CMakeFiles/uload.dir/algebra/xml_template.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/uload.dir/common/status.cc.o" "gcc" "src/CMakeFiles/uload.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/uload.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/uload.dir/common/string_util.cc.o.d"
+  "/root/repo/src/containment/canonical_model.cc" "src/CMakeFiles/uload.dir/containment/canonical_model.cc.o" "gcc" "src/CMakeFiles/uload.dir/containment/canonical_model.cc.o.d"
+  "/root/repo/src/containment/containment.cc" "src/CMakeFiles/uload.dir/containment/containment.cc.o" "gcc" "src/CMakeFiles/uload.dir/containment/containment.cc.o.d"
+  "/root/repo/src/containment/embedding.cc" "src/CMakeFiles/uload.dir/containment/embedding.cc.o" "gcc" "src/CMakeFiles/uload.dir/containment/embedding.cc.o.d"
+  "/root/repo/src/containment/minimize.cc" "src/CMakeFiles/uload.dir/containment/minimize.cc.o" "gcc" "src/CMakeFiles/uload.dir/containment/minimize.cc.o.d"
+  "/root/repo/src/eval/tag_collections.cc" "src/CMakeFiles/uload.dir/eval/tag_collections.cc.o" "gcc" "src/CMakeFiles/uload.dir/eval/tag_collections.cc.o.d"
+  "/root/repo/src/eval/tuple_intersect.cc" "src/CMakeFiles/uload.dir/eval/tuple_intersect.cc.o" "gcc" "src/CMakeFiles/uload.dir/eval/tuple_intersect.cc.o.d"
+  "/root/repo/src/eval/xam_eval.cc" "src/CMakeFiles/uload.dir/eval/xam_eval.cc.o" "gcc" "src/CMakeFiles/uload.dir/eval/xam_eval.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/uload.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/uload.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/order_descriptor.cc" "src/CMakeFiles/uload.dir/exec/order_descriptor.cc.o" "gcc" "src/CMakeFiles/uload.dir/exec/order_descriptor.cc.o.d"
+  "/root/repo/src/exec/physical.cc" "src/CMakeFiles/uload.dir/exec/physical.cc.o" "gcc" "src/CMakeFiles/uload.dir/exec/physical.cc.o.d"
+  "/root/repo/src/exec/plan_schemas.cc" "src/CMakeFiles/uload.dir/exec/plan_schemas.cc.o" "gcc" "src/CMakeFiles/uload.dir/exec/plan_schemas.cc.o.d"
+  "/root/repo/src/exec/structural_join.cc" "src/CMakeFiles/uload.dir/exec/structural_join.cc.o" "gcc" "src/CMakeFiles/uload.dir/exec/structural_join.cc.o.d"
+  "/root/repo/src/opt/cost.cc" "src/CMakeFiles/uload.dir/opt/cost.cc.o" "gcc" "src/CMakeFiles/uload.dir/opt/cost.cc.o.d"
+  "/root/repo/src/rewrite/plan_pattern.cc" "src/CMakeFiles/uload.dir/rewrite/plan_pattern.cc.o" "gcc" "src/CMakeFiles/uload.dir/rewrite/plan_pattern.cc.o.d"
+  "/root/repo/src/rewrite/query_rewriter.cc" "src/CMakeFiles/uload.dir/rewrite/query_rewriter.cc.o" "gcc" "src/CMakeFiles/uload.dir/rewrite/query_rewriter.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/CMakeFiles/uload.dir/rewrite/rewriter.cc.o" "gcc" "src/CMakeFiles/uload.dir/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/uload.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/uload.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/storage_models.cc" "src/CMakeFiles/uload.dir/storage/storage_models.cc.o" "gcc" "src/CMakeFiles/uload.dir/storage/storage_models.cc.o.d"
+  "/root/repo/src/storage/store.cc" "src/CMakeFiles/uload.dir/storage/store.cc.o" "gcc" "src/CMakeFiles/uload.dir/storage/store.cc.o.d"
+  "/root/repo/src/summary/path_summary.cc" "src/CMakeFiles/uload.dir/summary/path_summary.cc.o" "gcc" "src/CMakeFiles/uload.dir/summary/path_summary.cc.o.d"
+  "/root/repo/src/workload/dataset_gen.cc" "src/CMakeFiles/uload.dir/workload/dataset_gen.cc.o" "gcc" "src/CMakeFiles/uload.dir/workload/dataset_gen.cc.o.d"
+  "/root/repo/src/workload/dblp.cc" "src/CMakeFiles/uload.dir/workload/dblp.cc.o" "gcc" "src/CMakeFiles/uload.dir/workload/dblp.cc.o.d"
+  "/root/repo/src/workload/pattern_gen.cc" "src/CMakeFiles/uload.dir/workload/pattern_gen.cc.o" "gcc" "src/CMakeFiles/uload.dir/workload/pattern_gen.cc.o.d"
+  "/root/repo/src/workload/xmark.cc" "src/CMakeFiles/uload.dir/workload/xmark.cc.o" "gcc" "src/CMakeFiles/uload.dir/workload/xmark.cc.o.d"
+  "/root/repo/src/workload/xmark_queries.cc" "src/CMakeFiles/uload.dir/workload/xmark_queries.cc.o" "gcc" "src/CMakeFiles/uload.dir/workload/xmark_queries.cc.o.d"
+  "/root/repo/src/xam/formula.cc" "src/CMakeFiles/uload.dir/xam/formula.cc.o" "gcc" "src/CMakeFiles/uload.dir/xam/formula.cc.o.d"
+  "/root/repo/src/xam/xam.cc" "src/CMakeFiles/uload.dir/xam/xam.cc.o" "gcc" "src/CMakeFiles/uload.dir/xam/xam.cc.o.d"
+  "/root/repo/src/xam/xam_parser.cc" "src/CMakeFiles/uload.dir/xam/xam_parser.cc.o" "gcc" "src/CMakeFiles/uload.dir/xam/xam_parser.cc.o.d"
+  "/root/repo/src/xam/xam_printer.cc" "src/CMakeFiles/uload.dir/xam/xam_printer.cc.o" "gcc" "src/CMakeFiles/uload.dir/xam/xam_printer.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/uload.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/uload.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/ids.cc" "src/CMakeFiles/uload.dir/xml/ids.cc.o" "gcc" "src/CMakeFiles/uload.dir/xml/ids.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/uload.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/uload.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/uload.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/uload.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serialize.cc" "src/CMakeFiles/uload.dir/xml/serialize.cc.o" "gcc" "src/CMakeFiles/uload.dir/xml/serialize.cc.o.d"
+  "/root/repo/src/xquery/ast.cc" "src/CMakeFiles/uload.dir/xquery/ast.cc.o" "gcc" "src/CMakeFiles/uload.dir/xquery/ast.cc.o.d"
+  "/root/repo/src/xquery/interp.cc" "src/CMakeFiles/uload.dir/xquery/interp.cc.o" "gcc" "src/CMakeFiles/uload.dir/xquery/interp.cc.o.d"
+  "/root/repo/src/xquery/lexer.cc" "src/CMakeFiles/uload.dir/xquery/lexer.cc.o" "gcc" "src/CMakeFiles/uload.dir/xquery/lexer.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/CMakeFiles/uload.dir/xquery/parser.cc.o" "gcc" "src/CMakeFiles/uload.dir/xquery/parser.cc.o.d"
+  "/root/repo/src/xquery/pattern_extract.cc" "src/CMakeFiles/uload.dir/xquery/pattern_extract.cc.o" "gcc" "src/CMakeFiles/uload.dir/xquery/pattern_extract.cc.o.d"
+  "/root/repo/src/xquery/translate.cc" "src/CMakeFiles/uload.dir/xquery/translate.cc.o" "gcc" "src/CMakeFiles/uload.dir/xquery/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algebra_test.cc" "tests/CMakeFiles/uload_tests.dir/algebra_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/algebra_test.cc.o.d"
+  "/root/repo/tests/containment_property_test.cc" "tests/CMakeFiles/uload_tests.dir/containment_property_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/containment_property_test.cc.o.d"
+  "/root/repo/tests/containment_test.cc" "tests/CMakeFiles/uload_tests.dir/containment_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/containment_test.cc.o.d"
+  "/root/repo/tests/cost_test.cc" "tests/CMakeFiles/uload_tests.dir/cost_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/cost_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/uload_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/formula_test.cc" "tests/CMakeFiles/uload_tests.dir/formula_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/formula_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/uload_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/minimize_test.cc" "tests/CMakeFiles/uload_tests.dir/minimize_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/minimize_test.cc.o.d"
+  "/root/repo/tests/physical_test.cc" "tests/CMakeFiles/uload_tests.dir/physical_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/physical_test.cc.o.d"
+  "/root/repo/tests/plan_pattern_test.cc" "tests/CMakeFiles/uload_tests.dir/plan_pattern_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/plan_pattern_test.cc.o.d"
+  "/root/repo/tests/rewrite_test.cc" "tests/CMakeFiles/uload_tests.dir/rewrite_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/rewrite_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/uload_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/summary_test.cc" "tests/CMakeFiles/uload_tests.dir/summary_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/summary_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/uload_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/xam_eval_test.cc" "tests/CMakeFiles/uload_tests.dir/xam_eval_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/xam_eval_test.cc.o.d"
+  "/root/repo/tests/xam_test.cc" "tests/CMakeFiles/uload_tests.dir/xam_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/xam_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/uload_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/xml_test.cc.o.d"
+  "/root/repo/tests/xquery_test.cc" "tests/CMakeFiles/uload_tests.dir/xquery_test.cc.o" "gcc" "tests/CMakeFiles/uload_tests.dir/xquery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
