@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification in both the normal and the sanitizer configuration:
+#   scripts/check.sh          # build + ctest, then ASAN/UBSAN build + ctest
+#   scripts/check.sh fast     # normal configuration only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_config() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j
+  (cd "$dir" && ctest --output-on-failure -j)
+}
+
+echo "== normal configuration =="
+run_config build
+
+if [[ "${1:-}" != "fast" ]]; then
+  echo "== ASAN/UBSAN configuration =="
+  run_config build-asan -DASAN=ON
+fi
+
+echo "All checks passed."

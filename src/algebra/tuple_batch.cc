@@ -1,0 +1,12 @@
+#include "algebra/tuple_batch.h"
+
+#include <algorithm>
+
+namespace uload {
+
+TupleBatch::TupleBatch(SchemaPtr schema, size_t capacity)
+    : schema_(std::move(schema)), capacity_(std::max<size_t>(1, capacity)) {
+  tuples_.reserve(capacity_);
+}
+
+}  // namespace uload

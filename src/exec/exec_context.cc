@@ -1,0 +1,52 @@
+#include "exec/exec_context.h"
+
+#include <cstdio>
+
+namespace uload {
+namespace {
+
+std::string FormatMs(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string OperatorMetrics::ToString() const {
+  return "batches=" + std::to_string(batches_produced) +
+         " tuples=" + std::to_string(tuples_produced) +
+         " open=" + FormatMs(open_ns) + " next=" + FormatMs(next_ns);
+}
+
+OperatorMetrics* ExecContext::Register(std::string label) {
+  metrics_.emplace_back();
+  metrics_.back().label = std::move(label);
+  return &metrics_.back();
+}
+
+void ExecContext::ResetMetrics() {
+  for (OperatorMetrics& m : metrics_) m.Reset();
+}
+
+int64_t ExecContext::total_tuples() const {
+  int64_t n = 0;
+  for (const OperatorMetrics& m : metrics_) n += m.tuples_produced;
+  return n;
+}
+
+int64_t ExecContext::total_batches() const {
+  int64_t n = 0;
+  for (const OperatorMetrics& m : metrics_) n += m.batches_produced;
+  return n;
+}
+
+std::string ExecContext::Summary() const {
+  std::string out;
+  for (const OperatorMetrics& m : metrics_) {
+    out += m.label + "  [" + m.ToString() + "]\n";
+  }
+  return out;
+}
+
+}  // namespace uload

@@ -1,0 +1,67 @@
+// ExecContext: shared runtime state of one physical-plan execution.
+//
+// The context owns (a) the batch-size configuration every operator picks up
+// when the compiled tree is bound to it, and (b) the per-operator runtime
+// counters (batches/tuples produced, wall-clock spent in Open and NextBatch)
+// that back the EXPLAIN-ANALYZE rendering (DescribeAnalyze). Counters live in
+// a deque so registration never invalidates previously handed-out pointers;
+// the context must outlive the operator tree bound to it.
+#ifndef ULOAD_EXEC_EXEC_CONTEXT_H_
+#define ULOAD_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "algebra/tuple_batch.h"
+
+namespace uload {
+
+struct OperatorMetrics {
+  std::string label;            // operator rendering at registration time
+  int64_t batches_produced = 0;
+  int64_t tuples_produced = 0;
+  int64_t open_ns = 0;          // wall-clock inside Open(), inclusive
+  int64_t next_ns = 0;          // wall-clock inside NextBatch(), inclusive
+
+  void Reset() {
+    batches_produced = 0;
+    tuples_produced = 0;
+    open_ns = 0;
+    next_ns = 0;
+  }
+
+  // "batches=3 tuples=2310 open=0.12ms next=4.56ms".
+  std::string ToString() const;
+};
+
+class ExecContext {
+ public:
+  explicit ExecContext(size_t batch_size = TupleBatch::kDefaultCapacity)
+      : batch_size_(batch_size) {}
+
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t n) { batch_size_ = n; }
+
+  // Registers one operator and returns its stable counter slot.
+  OperatorMetrics* Register(std::string label);
+
+  // Zeroes all registered counters (e.g. between benchmark iterations).
+  void ResetMetrics();
+
+  const std::deque<OperatorMetrics>& metrics() const { return metrics_; }
+
+  int64_t total_tuples() const;
+  int64_t total_batches() const;
+
+  // Flat per-operator counter table, registration order.
+  std::string Summary() const;
+
+ private:
+  size_t batch_size_;
+  std::deque<OperatorMetrics> metrics_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_EXEC_EXEC_CONTEXT_H_

@@ -1,6 +1,7 @@
 #include "exec/physical.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <set>
 #include <unordered_map>
@@ -9,9 +10,83 @@
 #include "exec/structural_join.h"
 
 namespace uload {
+
 namespace {
 
-std::string Indent(int n) { return std::string(n * 2, ' '); }
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// --- PhysicalOperator template methods --------------------------------------
+
+Status PhysicalOperator::Open() {
+  adapter_batch_.reset();
+  adapter_pos_ = 0;
+  adapter_done_ = false;
+  int64_t start = NowNs();
+  Status s = OpenImpl();
+  metrics_->open_ns += NowNs() - start;
+  return s;
+}
+
+Result<std::optional<TupleBatch>> PhysicalOperator::NextBatch() {
+  int64_t start = NowNs();
+  Result<std::optional<TupleBatch>> r = NextBatchImpl();
+  metrics_->next_ns += NowNs() - start;
+  if (r.ok() && r->has_value()) {
+    metrics_->batches_produced += 1;
+    metrics_->tuples_produced += static_cast<int64_t>((*r)->size());
+  }
+  return r;
+}
+
+void PhysicalOperator::Close() { CloseImpl(); }
+
+Result<std::optional<Tuple>> PhysicalOperator::NextTuple() {
+  for (;;) {
+    if (adapter_batch_.has_value() && adapter_pos_ < adapter_batch_->size()) {
+      return std::optional<Tuple>(
+          std::move(adapter_batch_->tuple(adapter_pos_++)));
+    }
+    if (adapter_done_) return std::optional<Tuple>();
+    ULOAD_ASSIGN_OR_RETURN(adapter_batch_, NextBatch());
+    adapter_pos_ = 0;
+    if (!adapter_batch_.has_value()) {
+      adapter_done_ = true;
+      return std::optional<Tuple>();
+    }
+  }
+}
+
+std::string PhysicalOperator::Describe(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += label();
+  out += "\n";
+  for (const PhysicalOperator* c : children()) out += c->Describe(indent + 1);
+  return out;
+}
+
+std::string PhysicalOperator::DescribeAnalyze(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += label();
+  out += "  [" + metrics_->ToString() + "]\n";
+  for (const PhysicalOperator* c : children()) {
+    out += c->DescribeAnalyze(indent + 1);
+  }
+  return out;
+}
+
+void PhysicalOperator::Bind(ExecContext* ctx) {
+  batch_size_ = ctx->batch_size();
+  metrics_ = ctx->Register(label());
+  for (PhysicalOperator* c : children()) c->Bind(ctx);
+}
+
+namespace {
 
 // Base with common bookkeeping.
 class PhysBase : public PhysicalOperator {
@@ -20,6 +95,8 @@ class PhysBase : public PhysicalOperator {
   const OrderDescriptor& order() const override { return order_; }
 
  protected:
+  void CloseImpl() override {}
+
   SchemaPtr schema_ = Schema::Make({});
   OrderDescriptor order_;
 };
@@ -32,17 +109,18 @@ class ScanPhys : public PhysBase {
       : rel_(rel), name_(std::move(name)) {
     schema_ = rel->schema_ptr();
   }
-  Status Open() override {
+  std::string label() const override { return "Scan_phi(" + name_ + ")"; }
+
+ protected:
+  Status OpenImpl() override {
     pos_ = 0;
     return Status::Ok();
   }
-  Result<std::optional<Tuple>> Next() override {
-    if (pos_ >= rel_->size()) return std::optional<Tuple>();
-    return std::optional<Tuple>(rel_->tuple(pos_++));
-  }
-  void Close() override {}
-  std::string Describe(int indent) const override {
-    return Indent(indent) + "Scan_phi(" + name_ + ")\n";
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    if (pos_ >= rel_->size()) return std::optional<TupleBatch>();
+    TupleBatch out = NewBatch();
+    while (pos_ < rel_->size() && !out.full()) out.Add(rel_->tuple(pos_++));
+    return std::optional<TupleBatch>(std::move(out));
   }
 
  private:
@@ -51,8 +129,8 @@ class ScanPhys : public PhysBase {
   int64_t pos_ = 0;
 };
 
-// A scan over an owned materialized relation (index lookups, sorts, and the
-// materializing variants reuse it).
+// A scan over an owned materialized relation (index lookups and the
+// materializing fallbacks reuse it).
 class MaterialPhys : public PhysBase {
  public:
   MaterialPhys(NestedRelation data, std::string label, OrderDescriptor order)
@@ -60,19 +138,19 @@ class MaterialPhys : public PhysBase {
     schema_ = data_.schema_ptr();
     order_ = std::move(order);
   }
-  Status Open() override {
+  std::string label() const override { return label_; }
+
+ protected:
+  Status OpenImpl() override {
     pos_ = 0;
     return Status::Ok();
   }
-  Result<std::optional<Tuple>> Next() override {
-    if (pos_ >= data_.size()) return std::optional<Tuple>();
-    return std::optional<Tuple>(data_.tuple(pos_++));
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    if (pos_ >= data_.size()) return std::optional<TupleBatch>();
+    TupleBatch out = NewBatch();
+    while (pos_ < data_.size() && !out.full()) out.Add(data_.tuple(pos_++));
+    return std::optional<TupleBatch>(std::move(out));
   }
-  void Close() override {}
-  std::string Describe(int indent) const override {
-    return Indent(indent) + label_ + "\n";
-  }
-  NestedRelation& data() { return data_; }
 
  private:
   NestedRelation data_;
@@ -89,20 +167,30 @@ class SelectPhys : public PhysBase {
     schema_ = input_->schema();
     order_ = input_->order();
   }
-  Status Open() override { return input_->Open(); }
-  Result<std::optional<Tuple>> Next() override {
+  std::string label() const override {
+    return "Select_phi[" + pred_->ToString() + "]";
+  }
+  std::vector<PhysicalOperator*> children() const override {
+    return {input_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override { return input_->Open(); }
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    // Vectorized filter: keep pulling input batches until one survives.
     for (;;) {
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, input_->Next());
-      if (!t.has_value()) return t;
-      ULOAD_ASSIGN_OR_RETURN(bool keep, pred_->Eval(*schema_, *t));
-      if (keep) return t;
+      ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> in,
+                             input_->NextBatch());
+      if (!in.has_value()) return std::optional<TupleBatch>();
+      TupleBatch out = NewBatch();
+      for (Tuple& t : in->tuples()) {
+        ULOAD_ASSIGN_OR_RETURN(bool keep, pred_->Eval(*schema_, t));
+        if (keep) out.Add(std::move(t));
+      }
+      if (!out.empty()) return std::optional<TupleBatch>(std::move(out));
     }
   }
-  void Close() override { input_->Close(); }
-  std::string Describe(int indent) const override {
-    return Indent(indent) + "Select_phi[" + pred_->ToString() + "]\n" +
-           input_->Describe(indent + 1);
-  }
+  void CloseImpl() override { input_->Close(); }
 
  private:
   PhysicalPtr input_;
@@ -124,28 +212,37 @@ class ProjectPhys : public PhysBase {
     p->dedup_ = dedup;
     return PhysicalPtr(std::move(p));
   }
-  Status Open() override {
+  std::string label() const override {
+    return dedup_ ? "Project0_phi" : "Project_phi";
+  }
+  std::vector<PhysicalOperator*> children() const override {
+    return {input_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
     seen_.clear();
     return input_->Open();
   }
-  Result<std::optional<Tuple>> Next() override {
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
     for (;;) {
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, input_->Next());
-      if (!t.has_value()) return t;
-      ULOAD_ASSIGN_OR_RETURN(Tuple out,
-                             ProjectTupleTo(*input_->schema(), attrs_, *t));
-      if (dedup_) {
-        std::string key = TupleToString(out);
-        if (!seen_.insert(std::move(key)).second) continue;
+      ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> in,
+                             input_->NextBatch());
+      if (!in.has_value()) return std::optional<TupleBatch>();
+      TupleBatch out = NewBatch();
+      for (const Tuple& t : in->tuples()) {
+        ULOAD_ASSIGN_OR_RETURN(Tuple projected,
+                               ProjectTupleTo(*input_->schema(), attrs_, t));
+        if (dedup_) {
+          std::string key = TupleToString(projected);
+          if (!seen_.insert(std::move(key)).second) continue;
+        }
+        out.Add(std::move(projected));
       }
-      return std::optional<Tuple>(std::move(out));
+      if (!out.empty()) return std::optional<TupleBatch>(std::move(out));
     }
   }
-  void Close() override { input_->Close(); }
-  std::string Describe(int indent) const override {
-    return Indent(indent) + (dedup_ ? "Project0_phi\n" : "Project_phi\n") +
-           input_->Describe(indent + 1);
-  }
+  void CloseImpl() override { input_->Close(); }
 
  private:
   ProjectPhys() = default;
@@ -164,27 +261,33 @@ class SortPhys : public PhysBase {
     schema_ = input_->schema();
     order_ = std::move(order);
   }
-  Status Open() override {
+  std::string label() const override {
+    return "Sort_phi" + order_.ToString();
+  }
+  std::vector<PhysicalOperator*> children() const override {
+    return {input_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
     ULOAD_RETURN_NOT_OK(input_->Open());
     buffer_ = NestedRelation(schema_);
     for (;;) {
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, input_->Next());
-      if (!t.has_value()) break;
-      buffer_.Add(std::move(*t));
+      ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b,
+                             input_->NextBatch());
+      if (!b.has_value()) break;
+      for (Tuple& t : b->tuples()) buffer_.Add(std::move(t));
     }
     input_->Close();
     ULOAD_RETURN_NOT_OK(SortBy(order_, &buffer_));
     pos_ = 0;
     return Status::Ok();
   }
-  Result<std::optional<Tuple>> Next() override {
-    if (pos_ >= buffer_.size()) return std::optional<Tuple>();
-    return std::optional<Tuple>(buffer_.tuple(pos_++));
-  }
-  void Close() override {}
-  std::string Describe(int indent) const override {
-    return Indent(indent) + "Sort_phi" + order_.ToString() + "\n" +
-           input_->Describe(indent + 1);
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    if (pos_ >= buffer_.size()) return std::optional<TupleBatch>();
+    TupleBatch out = NewBatch();
+    while (pos_ < buffer_.size() && !out.full()) out.Add(buffer_.tuple(pos_++));
+    return std::optional<TupleBatch>(std::move(out));
   }
 
  private:
@@ -197,6 +300,9 @@ class SortPhys : public PhysBase {
 
 // Requires both inputs in document order on the join attributes (the
 // compiler guarantees it). Produces pairs ordered by the descendant side.
+// Consumption is inherently cursor-style (merge of two ordered streams), so
+// both inputs are read through the NextTuple() adapter; production fills a
+// whole output batch per call.
 class StackTreeDescPhys : public PhysBase {
  public:
   StackTreeDescPhys(PhysicalPtr anc, PhysicalPtr desc, int anc_idx,
@@ -209,23 +315,34 @@ class StackTreeDescPhys : public PhysBase {
     schema_ = Schema::Concat(*anc_->schema(), *desc_->schema());
     order_ = OrderDescriptor::On(desc_->schema()->attr(desc_idx).name);
   }
-  Status Open() override {
+  std::string label() const override {
+    return "StackTreeDesc_phi[" + anc_->schema()->attr(anc_idx_).name + " " +
+           (axis_ == Axis::kChild ? "parent-of" : "ancestor-of") + " " +
+           desc_->schema()->attr(desc_idx_).name + "]";
+  }
+  std::vector<PhysicalOperator*> children() const override {
+    return {anc_.get(), desc_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
     ULOAD_RETURN_NOT_OK(anc_->Open());
     ULOAD_RETURN_NOT_OK(desc_->Open());
     stack_.clear();
     pending_.clear();
-    ULOAD_ASSIGN_OR_RETURN(next_anc_, anc_->Next());
+    ULOAD_ASSIGN_OR_RETURN(next_anc_, anc_->NextTuple());
     return Status::Ok();
   }
-  Result<std::optional<Tuple>> Next() override {
-    for (;;) {
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    TupleBatch out = NewBatch();
+    while (!out.full()) {
       if (!pending_.empty()) {
-        Tuple t = std::move(pending_.front());
+        out.Add(std::move(pending_.front()));
         pending_.pop_front();
-        return std::optional<Tuple>(std::move(t));
+        continue;
       }
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> d, desc_->Next());
-      if (!d.has_value()) return std::optional<Tuple>();
+      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> d, desc_->NextTuple());
+      if (!d.has_value()) break;
       const AtomicValue& did = d->fields[desc_idx_].atom();
       if (did.kind() != AtomicValue::Kind::kSid) {
         return Status::TypeError(
@@ -245,7 +362,7 @@ class StackTreeDescPhys : public PhysBase {
           stack_.pop_back();
         }
         stack_.push_back(std::move(*next_anc_));
-        ULOAD_ASSIGN_OR_RETURN(next_anc_, anc_->Next());
+        ULOAD_ASSIGN_OR_RETURN(next_anc_, anc_->NextTuple());
       }
       // Pop finished ancestors.
       while (!stack_.empty() &&
@@ -260,17 +377,12 @@ class StackTreeDescPhys : public PhysBase {
         if (match) pending_.push_back(ConcatTuples(a, *d));
       }
     }
+    if (out.empty()) return std::optional<TupleBatch>();
+    return std::optional<TupleBatch>(std::move(out));
   }
-  void Close() override {
+  void CloseImpl() override {
     anc_->Close();
     desc_->Close();
-  }
-  std::string Describe(int indent) const override {
-    return Indent(indent) + "StackTreeDesc_phi[" +
-           anc_->schema()->attr(anc_idx_).name + " " +
-           (axis_ == Axis::kChild ? "parent-of" : "ancestor-of") + " " +
-           desc_->schema()->attr(desc_idx_).name + "]\n" +
-           anc_->Describe(indent + 1) + desc_->Describe(indent + 1);
   }
 
  private:
@@ -301,12 +413,24 @@ class ValueJoinPhys : public PhysBase {
                                nest_as);
     order_ = left_->order();
   }
-  Status Open() override {
+  std::string label() const override {
+    std::string name =
+        cmp_ == Comparator::kEq ? "HashJoin_phi" : "NestedLoopJoin_phi";
+    return name + ":" + JoinVariantName(variant_) + "[" + left_attr_ + " " +
+           ComparatorName(cmp_) + " " + right_attr_ + "]";
+  }
+  std::vector<PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
     ULOAD_RETURN_NOT_OK(left_->Open());
     ULOAD_RETURN_NOT_OK(right_->Open());
     // Build side: materialize right; hash it for equality joins.
     build_.clear();
     hash_.clear();
+    pending_.clear();
     ULOAD_ASSIGN_OR_RETURN(AttrPath rp,
                            ResolveAttrPath(*right_->schema(), right_attr_));
     if (rp.size() != 1) {
@@ -320,26 +444,30 @@ class ValueJoinPhys : public PhysBase {
     }
     lidx_ = lp[0];
     for (;;) {
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, right_->Next());
-      if (!t.has_value()) break;
-      if (cmp_ == Comparator::kEq) {
-        const AtomicValue& v = t->fields[ridx_].atom();
-        if (!v.is_null()) hash_[v.ToString()].push_back(build_.size());
+      ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b,
+                             right_->NextBatch());
+      if (!b.has_value()) break;
+      for (Tuple& t : b->tuples()) {
+        if (cmp_ == Comparator::kEq) {
+          const AtomicValue& v = t.fields[ridx_].atom();
+          if (!v.is_null()) hash_[v.ToString()].push_back(build_.size());
+        }
+        build_.push_back(std::move(t));
       }
-      build_.push_back(std::move(*t));
     }
     right_->Close();
     return Status::Ok();
   }
-  Result<std::optional<Tuple>> Next() override {
-    for (;;) {
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    TupleBatch out = NewBatch();
+    while (!out.full()) {
       if (!pending_.empty()) {
-        Tuple t = std::move(pending_.front());
+        out.Add(std::move(pending_.front()));
         pending_.pop_front();
-        return std::optional<Tuple>(std::move(t));
+        continue;
       }
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> l, left_->Next());
-      if (!l.has_value()) return std::optional<Tuple>();
+      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> l, left_->NextTuple());
+      if (!l.has_value()) break;
       std::vector<size_t> matches;
       const AtomicValue& lv = l->fields[lidx_].atom();
       if (cmp_ == Comparator::kEq) {
@@ -356,15 +484,10 @@ class ValueJoinPhys : public PhysBase {
       }
       Emit(*l, matches);
     }
+    if (out.empty()) return std::optional<TupleBatch>();
+    return std::optional<TupleBatch>(std::move(out));
   }
-  void Close() override { left_->Close(); }
-  std::string Describe(int indent) const override {
-    std::string name =
-        cmp_ == Comparator::kEq ? "HashJoin_phi" : "NestedLoopJoin_phi";
-    return Indent(indent) + name + ":" + JoinVariantName(variant_) + "[" +
-           left_attr_ + " " + ComparatorName(cmp_) + " " + right_attr_ +
-           "]\n" + left_->Describe(indent + 1) + right_->Describe(indent + 1);
-  }
+  void CloseImpl() override { left_->Close(); }
 
  private:
   void Emit(const Tuple& l, const std::vector<size_t>& matches) {
@@ -419,34 +542,42 @@ class ProductPhys : public PhysBase {
     schema_ = Schema::Concat(*left_->schema(), *right_->schema());
     order_ = left_->order();
   }
-  Status Open() override {
+  std::string label() const override { return "Product_phi"; }
+  std::vector<PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
     ULOAD_RETURN_NOT_OK(left_->Open());
     ULOAD_RETURN_NOT_OK(right_->Open());
     build_.clear();
     for (;;) {
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, right_->Next());
-      if (!t.has_value()) break;
-      build_.push_back(std::move(*t));
+      ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b,
+                             right_->NextBatch());
+      if (!b.has_value()) break;
+      for (Tuple& t : b->tuples()) build_.push_back(std::move(t));
     }
     right_->Close();
+    cur_.reset();
     rpos_ = build_.size();
     return Status::Ok();
   }
-  Result<std::optional<Tuple>> Next() override {
-    for (;;) {
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    TupleBatch out = NewBatch();
+    while (!out.full()) {
       if (rpos_ < build_.size()) {
-        return std::optional<Tuple>(ConcatTuples(*cur_, build_[rpos_++]));
+        out.Add(ConcatTuples(*cur_, build_[rpos_++]));
+        continue;
       }
-      ULOAD_ASSIGN_OR_RETURN(cur_, left_->Next());
-      if (!cur_.has_value()) return std::optional<Tuple>();
+      ULOAD_ASSIGN_OR_RETURN(cur_, left_->NextTuple());
+      if (!cur_.has_value()) break;
       rpos_ = 0;
     }
+    if (out.empty()) return std::optional<TupleBatch>();
+    return std::optional<TupleBatch>(std::move(out));
   }
-  void Close() override { left_->Close(); }
-  std::string Describe(int indent) const override {
-    return Indent(indent) + "Product_phi\n" + left_->Describe(indent + 1) +
-           right_->Describe(indent + 1);
-  }
+  void CloseImpl() override { left_->Close(); }
 
  private:
   PhysicalPtr left_;
@@ -464,26 +595,34 @@ class UnionPhys : public PhysBase {
       : left_(std::move(left)), right_(std::move(right)) {
     schema_ = left_->schema();
   }
-  Status Open() override {
+  std::string label() const override { return "Union_phi"; }
+  std::vector<PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
     on_right_ = false;
     ULOAD_RETURN_NOT_OK(left_->Open());
     return right_->Open();
   }
-  Result<std::optional<Tuple>> Next() override {
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    // Whole batches pass through; only the schema tag changes.
     if (!on_right_) {
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, left_->Next());
-      if (t.has_value()) return t;
+      ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, left_->NextBatch());
+      if (b.has_value()) {
+        b->set_schema(schema_);
+        return b;
+      }
       on_right_ = true;
     }
-    return right_->Next();
+    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, right_->NextBatch());
+    if (b.has_value()) b->set_schema(schema_);
+    return b;
   }
-  void Close() override {
+  void CloseImpl() override {
     left_->Close();
     right_->Close();
-  }
-  std::string Describe(int indent) const override {
-    return Indent(indent) + "Union_phi\n" + left_->Describe(indent + 1) +
-           right_->Describe(indent + 1);
   }
 
  private:
@@ -506,7 +645,15 @@ class NavigatePhys : public PhysBase {
                                                        : plan->nest_as());
     order_ = input_->order();
   }
-  Status Open() override {
+  std::string label() const override {
+    return "Navigate_phi[" + plan_->left_attr() + "]";
+  }
+  std::vector<PhysicalOperator*> children() const override {
+    return {input_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
     if (doc_ == nullptr) {
       return Status::InvalidArgument("Navigate_phi without a document");
     }
@@ -517,25 +664,25 @@ class NavigatePhys : public PhysBase {
       return Status::NotImplemented("Navigate_phi from nested attribute");
     }
     lidx_ = lp[0];
+    pending_.clear();
     return input_->Open();
   }
-  Result<std::optional<Tuple>> Next() override {
-    for (;;) {
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    TupleBatch out = NewBatch();
+    while (!out.full()) {
       if (!pending_.empty()) {
-        Tuple t = std::move(pending_.front());
+        out.Add(std::move(pending_.front()));
         pending_.pop_front();
-        return std::optional<Tuple>(std::move(t));
+        continue;
       }
-      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, input_->Next());
-      if (!t.has_value()) return t;
+      ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, input_->NextTuple());
+      if (!t.has_value()) break;
       ULOAD_RETURN_NOT_OK(Process(*t));
     }
+    if (out.empty()) return std::optional<TupleBatch>();
+    return std::optional<TupleBatch>(std::move(out));
   }
-  void Close() override { input_->Close(); }
-  std::string Describe(int indent) const override {
-    return Indent(indent) + "Navigate_phi[" + plan_->left_attr() + "]\n" +
-           input_->Describe(indent + 1);
-  }
+  void CloseImpl() override { input_->Close(); }
 
  private:
   Status Process(const Tuple& t) {
@@ -644,6 +791,33 @@ class NavigatePhys : public PhysBase {
   std::deque<Tuple> pending_;
 };
 
+// --- Rename (metadata-only) --------------------------------------------------
+
+class RenamePhys : public PhysBase {
+ public:
+  RenamePhys(PhysicalPtr input, const std::string& prefix)
+      : input_(std::move(input)) {
+    schema_ = PrefixedSchema(*input_->schema(), prefix);
+    order_ = OrderDescriptor();
+  }
+  std::string label() const override { return "Rename_phi"; }
+  std::vector<PhysicalOperator*> children() const override {
+    return {input_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override { return input_->Open(); }
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, input_->NextBatch());
+    if (b.has_value()) b->set_schema(schema_);
+    return b;
+  }
+  void CloseImpl() override { input_->Close(); }
+
+ private:
+  PhysicalPtr input_;
+};
+
 // --- Compiler ----------------------------------------------------------------
 
 class Compiler {
@@ -748,28 +922,6 @@ class Compiler {
       }
       case PlanOp::kPrefixNames: {
         ULOAD_ASSIGN_OR_RETURN(PhysicalPtr in, Rec(*p.left()));
-        // Renaming is metadata-only: wrap in a material view of the same
-        // stream with the prefixed schema.
-        class RenamePhys : public PhysBase {
-         public:
-          RenamePhys(PhysicalPtr input, const std::string& prefix)
-              : input_(std::move(input)) {
-            schema_ = PrefixedSchema(*input_->schema(), prefix);
-            order_ = OrderDescriptor();
-          }
-          Status Open() override { return input_->Open(); }
-          Result<std::optional<Tuple>> Next() override {
-            return input_->Next();
-          }
-          void Close() override { input_->Close(); }
-          std::string Describe(int indent) const override {
-            return Indent(indent) + "Rename_phi\n" +
-                   input_->Describe(indent + 1);
-          }
-
-         private:
-          PhysicalPtr input_;
-        };
         return PhysicalPtr(
             std::make_unique<RenamePhys>(std::move(in), p.nest_as()));
       }
@@ -804,26 +956,31 @@ class Compiler {
 }  // namespace
 
 Result<PhysicalPtr> CompilePhysicalPlan(const PlanPtr& plan,
-                                        const EvalContext& ctx) {
+                                        const EvalContext& ctx,
+                                        ExecContext* exec) {
   Compiler compiler(ctx);
-  return compiler.Compile(plan);
+  ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root, compiler.Compile(plan));
+  if (exec != nullptr) root->Bind(exec);
+  return root;
 }
 
 Result<NestedRelation> ExecutePhysical(PhysicalOperator* root) {
   ULOAD_RETURN_NOT_OK(root->Open());
   NestedRelation out(root->schema());
   for (;;) {
-    ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> t, root->Next());
-    if (!t.has_value()) break;
-    out.Add(std::move(*t));
+    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, root->NextBatch());
+    if (!b.has_value()) break;
+    for (Tuple& t : b->tuples()) out.Add(std::move(t));
   }
   root->Close();
   return out;
 }
 
 Result<NestedRelation> ExecutePhysicalPlan(const PlanPtr& plan,
-                                           const EvalContext& ctx) {
-  ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root, CompilePhysicalPlan(plan, ctx));
+                                           const EvalContext& ctx,
+                                           ExecContext* exec) {
+  ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
+                         CompilePhysicalPlan(plan, ctx, exec));
   return ExecutePhysical(root.get());
 }
 

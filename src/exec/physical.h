@@ -1,56 +1,122 @@
-// Physical operators (thesis §1.2.3): the iterator-model execution engine.
+// Physical operators (thesis §1.2.3): the batch-at-a-time execution engine.
 //
 // Each logical operator op has a physical counterpart op_φ; all physical
 // operators consume and produce streams of (possibly nested) tuples through
-// the classic Open/Next/Close interface. Structural joins are implemented
-// by the streaming StackTreeAnc algorithm, which requires both inputs in
-// document order — the compiler tracks order descriptors and inserts Sort_φ
-// enforcers exactly where the requirement is not already met, the way the
-// thesis's optimizer pipes structural joins into each other.
+// an Open/NextBatch/Close interface. A NextBatch() call returns up to one
+// TupleBatch (default 1024 tuples), so per-call costs — virtual dispatch,
+// runtime accounting, clock reads — amortize over the whole batch instead of
+// being paid per tuple. A thin NextTuple() adapter on the base class serves
+// operators with inherently tuple-wise consumption (the StackTree join walks
+// both inputs cursor-style) and legacy call sites.
+//
+// Structural joins are implemented by the streaming StackTreeAnc algorithm,
+// which requires both inputs in document order — the compiler tracks order
+// descriptors and inserts Sort_φ enforcers exactly where the requirement is
+// not already met, the way the thesis's optimizer pipes structural joins
+// into each other.
+//
+// Runtime observability: binding the compiled tree to an ExecContext gives
+// every operator a counter slot (batches/tuples produced, Open/NextBatch
+// wall-clock). DescribeAnalyze() renders the plan with those counters, the
+// EXPLAIN-ANALYZE view of an executed plan.
 #ifndef ULOAD_EXEC_PHYSICAL_H_
 #define ULOAD_EXEC_PHYSICAL_H_
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "algebra/tuple_batch.h"
 #include "exec/evaluator.h"
+#include "exec/exec_context.h"
 #include "exec/order_descriptor.h"
 
 namespace uload {
 
-// Pull-based physical operator.
+// Pull-based batch-at-a-time physical operator.
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
 
-  virtual Status Open() = 0;
-  // Produces the next tuple, or nullopt at end of stream.
-  virtual Result<std::optional<Tuple>> Next() = 0;
-  virtual void Close() = 0;
+  // Template methods: wrap the per-operator implementation with runtime
+  // accounting. Open() also resets the NextTuple() adapter cursor, so
+  // re-opening an operator tree replays the stream from the start.
+  Status Open();
+  // Produces the next batch of tuples, or nullopt at end of stream.
+  // Returned batches are non-empty and hold at most the configured batch
+  // size (the fill target; see TupleBatch).
+  Result<std::optional<TupleBatch>> NextBatch();
+  void Close();
+
+  // Tuple-at-a-time adapter over NextBatch(): hands out the buffered batch
+  // one tuple at a time, pulling a fresh batch when it runs dry.
+  Result<std::optional<Tuple>> NextTuple();
 
   // Output schema, valid after construction.
   virtual const SchemaPtr& schema() const = 0;
   // Order of the produced stream (may be empty = unordered).
   virtual const OrderDescriptor& order() const = 0;
 
-  // Operator-tree rendering with physical operator names.
-  virtual std::string Describe(int indent = 0) const = 0;
+  // One-line operator rendering without indentation or children, e.g.
+  // "Select_phi[n_Val contains-word 'Smith']".
+  virtual std::string label() const = 0;
+  // Input operators in display order.
+  virtual std::vector<PhysicalOperator*> children() const { return {}; }
+
+  // Operator-tree rendering with physical operator names; two spaces of
+  // indentation per tree level.
+  std::string Describe(int indent = 0) const;
+  // Describe() plus the per-operator runtime counters of the last
+  // execution — EXPLAIN ANALYZE for an executed plan.
+  std::string DescribeAnalyze(int indent = 0) const;
+
+  // Binds this subtree to `ctx`: operators adopt the configured batch size
+  // and register their runtime counters with the context. `ctx` must
+  // outlive the operator tree. Without a bind, operators run with the
+  // default batch size and keep counters in a private slot.
+  void Bind(ExecContext* ctx);
+
+  const OperatorMetrics& metrics() const { return *metrics_; }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<std::optional<TupleBatch>> NextBatchImpl() = 0;
+  virtual void CloseImpl() = 0;
+
+  // Configured fill target for produced batches.
+  size_t batch_size() const { return batch_size_; }
+  // Fresh output batch tagged with this operator's schema.
+  TupleBatch NewBatch() const { return TupleBatch(schema(), batch_size_); }
+
+ private:
+  size_t batch_size_ = TupleBatch::kDefaultCapacity;
+  OperatorMetrics local_metrics_;
+  OperatorMetrics* metrics_ = &local_metrics_;
+  // NextTuple() adapter state.
+  std::optional<TupleBatch> adapter_batch_;
+  size_t adapter_pos_ = 0;
+  bool adapter_done_ = false;
 };
 
 using PhysicalPtr = std::unique_ptr<PhysicalOperator>;
 
 // Compiles a logical plan into a physical operator tree. Inputs of
 // structural joins that are not already sorted on the join attribute get a
-// Sort_φ enforcer. Navigation/index operators capture the context.
+// Sort_φ enforcer. Navigation/index operators capture the context. When
+// `exec` is non-null the compiled tree is bound to it (batch size + runtime
+// counters); `exec` must then outlive the returned tree.
 Result<PhysicalPtr> CompilePhysicalPlan(const PlanPtr& plan,
-                                        const EvalContext& ctx);
+                                        const EvalContext& ctx,
+                                        ExecContext* exec = nullptr);
 
 // Drains a physical operator tree into a materialized relation.
 Result<NestedRelation> ExecutePhysical(PhysicalOperator* root);
 
 // Convenience: compile + execute.
 Result<NestedRelation> ExecutePhysicalPlan(const PlanPtr& plan,
-                                           const EvalContext& ctx);
+                                           const EvalContext& ctx,
+                                           ExecContext* exec = nullptr);
 
 }  // namespace uload
 

@@ -1,6 +1,7 @@
 #include "opt/cost.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "containment/embedding.h"
 
@@ -64,6 +65,14 @@ double EstimateCardinality(const Xam& pattern, const PathSummary& summary) {
   return total;
 }
 
+double IterationOverhead(double card, const CostModel& model) {
+  double tuples = std::max(card, 0.0);
+  double batches =
+      std::max(1.0, std::ceil(tuples / std::max(1.0, model.batch_size)));
+  return tuples * model.per_tuple_overhead +
+         batches * model.per_batch_overhead;
+}
+
 double EstimatePlanCost(
     const LogicalPlan& plan, const PathSummary& summary,
     const std::function<double(const std::string&)>& view_card,
@@ -75,6 +84,9 @@ double EstimatePlanCost(
   };
   std::function<Est(const LogicalPlan&)> rec =
       [&](const LogicalPlan& p) -> Est {
+    // Every operator additionally pays the batch-iteration overhead of
+    // handing its output downstream.
+    Est est = [&]() -> Est {
     switch (p.op()) {
       case PlanOp::kScan:
       case PlanOp::kIndexScan: {
@@ -148,6 +160,9 @@ double EstimatePlanCost(
       }
     }
     return Est{};
+    }();
+    est.cost += IterationOverhead(est.card, model);
+    return est;
   };
   (void)summary;
   return rec(plan).cost;

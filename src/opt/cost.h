@@ -31,7 +31,21 @@ struct CostModel {
   double navigate_weight = 8.0;    // navigation touches the document
   double select_weight = 0.5;
   double value_selectivity = 0.1;  // default predicate selectivity
+
+  // Batch-at-a-time iteration (exec/physical.h): virtual dispatch, runtime
+  // accounting, and clock reads are paid once per NextBatch() call, while a
+  // small residual (branching, cursor advance) stays per tuple. Separating
+  // the two lets the model predict how batch size trades off against the
+  // tuple-at-a-time degenerate case (batch_size = 1).
+  double per_tuple_overhead = 0.05;  // residual cost per tuple per operator
+  double per_batch_overhead = 2.0;   // fixed cost per NextBatch() call
+  double batch_size = 1024.0;        // configured tuples per batch
 };
+
+// Iteration overhead one operator pays to push `card` tuples downstream:
+// per-tuple residual plus the per-batch cost of ceil(card / batch_size)
+// NextBatch() calls (at least one call even for an empty stream).
+double IterationOverhead(double card, const CostModel& model);
 
 // Estimated cost of a plan whose leaf scans are the named patterns.
 // `view_cards` supplies per-relation base cardinalities (e.g. from the

@@ -91,22 +91,23 @@ Xam PatternGenerator::Generate(const PatternGenOptions& opts) {
   // Grow to the requested size.
   int guard = 0;
   while (static_cast<int>(nodes.size()) < opts.nodes && ++guard < 1000) {
-    GenNode& host = nodes[Uniform(nodes.size())];
-    if (host.children >= opts.fanout) continue;
-    if (x.node(host.id).is_attribute) continue;  // attributes are leaves
+    // Index, not reference: add_node() grows `nodes` and may reallocate.
+    size_t host = Uniform(nodes.size());
+    if (nodes[host].children >= opts.fanout) continue;
+    if (x.node(nodes[host].id).is_attribute) continue;  // attributes are leaves
     // Candidate witnesses: children (preferred) or descendants.
     std::vector<SummaryNodeId> cands;
-    for (SummaryNodeId c : s.node(host.witness).children) {
+    for (SummaryNodeId c : s.node(nodes[host].witness).children) {
       if (s.node(c).kind != NodeKind::kText) cands.push_back(c);
     }
     if (cands.empty() || Chance(30)) {
-      std::vector<SummaryNodeId> desc = s.Descendants(host.witness, "");
+      std::vector<SummaryNodeId> desc = s.Descendants(nodes[host].witness, "");
       if (!desc.empty()) cands.push_back(desc[Uniform(desc.size())]);
     }
     if (cands.empty()) continue;
     SummaryNodeId witness = cands[Uniform(cands.size())];
-    add_node(host.id, host.witness, witness, false);
-    host.children++;
+    add_node(nodes[host].id, nodes[host].witness, witness, false);
+    nodes[host].children++;
   }
   return x;
 }
