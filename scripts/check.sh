@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification in both the normal and the sanitizer configuration:
-#   scripts/check.sh          # build + ctest, then ASAN/UBSAN build + ctest
+# Tier-1 verification in the normal and sanitizer configurations:
+#   scripts/check.sh          # normal, then ASAN/UBSAN, then TSAN
 #   scripts/check.sh fast     # normal configuration only
+# The TSAN configuration runs only the threaded/executor tests (the Exchange
+# worker pool, the physical engine and the parallel differential harness);
+# the rest of the suite is single-threaded and covered by the other configs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +22,12 @@ run_config build
 if [[ "${1:-}" != "fast" ]]; then
   echo "== ASAN/UBSAN configuration =="
   run_config build-asan -DASAN=ON
+
+  echo "== TSAN configuration (executor tests) =="
+  cmake -B build-tsan -S . -DTSAN=ON
+  cmake --build build-tsan -j
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/uload_tests \
+    --gtest_filter='*Parallel*:*BoundedBatchQueue*:*Physical*:*Exec*'
 fi
 
 echo "All checks passed."

@@ -1,0 +1,301 @@
+#include "exec/exchange.h"
+
+#include <utility>
+
+namespace uload {
+
+// --- BoundedBatchQueue -------------------------------------------------------
+
+BoundedBatchQueue::BoundedBatchQueue(size_t capacity, int producers)
+    : capacity_(capacity == 0 ? 1 : capacity), producers_left_(producers) {}
+
+bool BoundedBatchQueue::Push(TupleBatch batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock, [&] { return shutdown_ || queue_.size() < capacity_; });
+  if (shutdown_) return false;
+  queue_.push_back(std::move(batch));
+  can_pop_.notify_one();
+  return true;
+}
+
+void BoundedBatchQueue::ProducerDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--producers_left_ <= 0) can_pop_.notify_all();
+}
+
+std::optional<TupleBatch> BoundedBatchQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock, [&] {
+    return shutdown_ || !queue_.empty() || producers_left_ <= 0;
+  });
+  if (!queue_.empty()) {
+    TupleBatch b = std::move(queue_.front());
+    queue_.pop_front();
+    can_push_.notify_one();
+    return std::optional<TupleBatch>(std::move(b));
+  }
+  return std::nullopt;
+}
+
+void BoundedBatchQueue::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+// --- ParallelScanPhys --------------------------------------------------------
+
+ParallelScanPhys::ParallelScanPhys(const NestedRelation* rel, std::string name,
+                                   size_t part, size_t nparts,
+                                   OrderDescriptor order)
+    : rel_(rel),
+      name_(std::move(name)),
+      part_(part),
+      nparts_(nparts == 0 ? 1 : nparts),
+      schema_(rel->schema_ptr()),
+      order_(std::move(order)) {
+  size_t n = static_cast<size_t>(rel_->size());
+  begin_ = static_cast<int64_t>(part_ * n / nparts_);
+  end_ = static_cast<int64_t>((part_ + 1) * n / nparts_);
+}
+
+std::string ParallelScanPhys::label() const {
+  return "ParallelScan_phi(" + name_ + " " + std::to_string(part_ + 1) + "/" +
+         std::to_string(nparts_) + ")";
+}
+
+bool ParallelScanPhys::TryAdoptOrder(const OrderDescriptor& order) {
+  // The whole relation being sorted implies every contiguous slice is.
+  Result<bool> sorted = IsSortedBy(order, *rel_);
+  if (!sorted.ok() || !*sorted) return false;
+  order_ = order;
+  return true;
+}
+
+Status ParallelScanPhys::OpenImpl() {
+  pos_ = begin_;
+  return Status::Ok();
+}
+
+Result<std::optional<TupleBatch>> ParallelScanPhys::NextBatchImpl() {
+  if (pos_ >= end_) return std::optional<TupleBatch>();
+  TupleBatch out = NewBatch();
+  while (pos_ < end_ && !out.full()) out.Add(rel_->tuple(pos_++));
+  return std::optional<TupleBatch>(std::move(out));
+}
+
+// --- ExchangeBase ------------------------------------------------------------
+
+ExchangeBase::ExchangeBase(std::vector<PhysicalPtr> workers)
+    : workers_(std::move(workers)) {
+  schema_ = workers_.front()->schema();
+  order_ = workers_.front()->order();
+  statuses_.assign(workers_.size(), Status::Ok());
+}
+
+ExchangeBase::~ExchangeBase() {
+  // Derived destructors ran StopWorkers() while their queues were still
+  // alive; this is only a safety net for the no-worker state.
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::vector<PhysicalOperator*> ExchangeBase::children() const {
+  return {workers_.front().get()};
+}
+
+void ExchangeBase::BindChildren(ExecContext* ctx) {
+  // Worker 0 is the template pipeline: it registers with the plan's context
+  // so DescribeAnalyze() shows its slots. The other workers get private
+  // contexts so no counter slot is shared across threads.
+  workers_[0]->Bind(ctx);
+  worker_ctxs_.clear();
+  for (size_t i = 1; i < workers_.size(); ++i) {
+    worker_ctxs_.push_back(std::make_unique<ExecContext>(ctx->batch_size()));
+    workers_[i]->Bind(worker_ctxs_.back().get());
+  }
+}
+
+void ExchangeBase::StartWorkers() {
+  statuses_.assign(workers_.size(), Status::Ok());
+  threads_.clear();
+  threads_.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    threads_.emplace_back([this, i] {
+      PhysicalOperator* w = workers_[i].get();
+      BoundedBatchQueue* q = queue_for(i);
+      Status s = w->Open();
+      if (s.ok()) {
+        for (;;) {
+          Result<std::optional<TupleBatch>> r = w->NextBatch();
+          if (!r.ok()) {
+            s = r.status();
+            break;
+          }
+          if (!r->has_value()) break;
+          if ((*r)->empty()) continue;
+          if (!q->Push(std::move(**r))) break;  // consumer shut the queue down
+        }
+      }
+      w->Close();
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(status_mu_);
+        statuses_[i] = std::move(s);
+      }
+      q->ProducerDone();
+    });
+  }
+}
+
+void ExchangeBase::StopWorkers() {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (BoundedBatchQueue* q = queue_for(i)) q->Shutdown();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  // Fold workers 1..N-1 into worker 0's counter slots (and zero the
+  // sources), so the template pipeline shows whole-exchange totals.
+  for (size_t i = 1; i < workers_.size(); ++i) {
+    workers_[0]->MergeMetricsFrom(*workers_[i]);
+  }
+}
+
+Status ExchangeBase::WorkerError() {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  for (const Status& s : statuses_) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+// --- ExchangeProducePhys -----------------------------------------------------
+
+ExchangeProducePhys::ExchangeProducePhys(std::vector<PhysicalPtr> workers)
+    : ExchangeBase(std::move(workers)) {
+  order_ = OrderDescriptor();  // arrival order — no order guarantee
+}
+
+ExchangeProducePhys::~ExchangeProducePhys() { StopWorkers(); }
+
+std::string ExchangeProducePhys::label() const {
+  return "ExchangeProduce_phi(workers=" + std::to_string(worker_count()) + ")";
+}
+
+Status ExchangeProducePhys::OpenImpl() {
+  StopWorkers();  // re-open without an intervening Close()
+  queue_ = std::make_unique<BoundedBatchQueue>(
+      2 * worker_count(), static_cast<int>(worker_count()));
+  StartWorkers();
+  return Status::Ok();
+}
+
+Result<std::optional<TupleBatch>> ExchangeProducePhys::NextBatchImpl() {
+  std::optional<TupleBatch> b = queue_->Pop();
+  if (!b.has_value()) {
+    ULOAD_RETURN_NOT_OK(WorkerError());
+    return std::optional<TupleBatch>();
+  }
+  b->set_schema(schema_);
+  return std::optional<TupleBatch>(std::move(*b));
+}
+
+void ExchangeProducePhys::CloseImpl() { StopWorkers(); }
+
+BoundedBatchQueue* ExchangeProducePhys::queue_for(size_t) {
+  return queue_.get();
+}
+
+// --- ExchangeMergePhys -------------------------------------------------------
+
+ExchangeMergePhys::ExchangeMergePhys(std::vector<PhysicalPtr> workers)
+    : ExchangeBase(std::move(workers)) {}
+
+ExchangeMergePhys::~ExchangeMergePhys() { StopWorkers(); }
+
+std::string ExchangeMergePhys::label() const {
+  return "ExchangeMerge_phi" + order_.ToString() +
+         "(workers=" + std::to_string(worker_count()) + ")";
+}
+
+Status ExchangeMergePhys::OpenImpl() {
+  StopWorkers();  // re-open without an intervening Close()
+  key_idx_.clear();
+  for (const OrderKey& k : order_.keys()) {
+    ULOAD_ASSIGN_OR_RETURN(AttrPath p, ResolveAttrPath(*schema_, k.attr));
+    if (p.size() != 1) {
+      return Status::NotImplemented("ExchangeMerge on nested order key '" +
+                                    k.attr + "'");
+    }
+    key_idx_.emplace_back(p[0], k.ascending);
+  }
+  size_t n = worker_count();
+  queues_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<BoundedBatchQueue>(4, 1));
+  }
+  heads_.assign(n, std::nullopt);
+  head_pos_.assign(n, 0);
+  done_.assign(n, false);
+  StartWorkers();
+  return Status::Ok();
+}
+
+bool ExchangeMergePhys::EnsureHead(size_t i) {
+  while (!done_[i] &&
+         (!heads_[i].has_value() || head_pos_[i] >= heads_[i]->size())) {
+    heads_[i] = queues_[i]->Pop();
+    head_pos_[i] = 0;
+    if (!heads_[i].has_value()) done_[i] = true;
+  }
+  return !done_[i];
+}
+
+bool ExchangeMergePhys::HeadLess(size_t a, size_t b) const {
+  const Tuple& ta = heads_[a]->tuple(head_pos_[a]);
+  const Tuple& tb = heads_[b]->tuple(head_pos_[b]);
+  for (const auto& [idx, asc] : key_idx_) {
+    int c = AtomicValue::Compare(ta.fields[idx].atom(), tb.fields[idx].atom());
+    if (c != 0) return asc ? c < 0 : c > 0;
+  }
+  // Equal keys: take the lower worker index. Together with contiguous range
+  // partitioning this reproduces the serial engine's tuple sequence.
+  return a < b;
+}
+
+Result<std::optional<TupleBatch>> ExchangeMergePhys::NextBatchImpl() {
+  TupleBatch out = NewBatch();
+  while (!out.full()) {
+    int best = -1;
+    for (size_t i = 0; i < worker_count(); ++i) {
+      if (!EnsureHead(i)) continue;
+      if (best < 0 || HeadLess(i, static_cast<size_t>(best))) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    size_t b = static_cast<size_t>(best);
+    out.Add(std::move(heads_[b]->tuple(head_pos_[b]++)));
+  }
+  if (out.empty()) {
+    ULOAD_RETURN_NOT_OK(WorkerError());
+    return std::optional<TupleBatch>();
+  }
+  return std::optional<TupleBatch>(std::move(out));
+}
+
+void ExchangeMergePhys::CloseImpl() {
+  StopWorkers();
+  heads_.clear();
+  head_pos_.clear();
+  done_.clear();
+}
+
+BoundedBatchQueue* ExchangeMergePhys::queue_for(size_t worker) {
+  return worker < queues_.size() ? queues_[worker].get() : nullptr;
+}
+
+}  // namespace uload

@@ -1,0 +1,196 @@
+// Exchange operators: intra-query parallelism for the batch-at-a-time
+// engine (the morsel-style counterpart of the thesis's single-threaded
+// iterator pipelines).
+//
+// The unit of parallel work is the TupleBatch. A parallelized plan fragment
+// is compiled once per worker; each worker pipeline runs on its own thread,
+// pulling batches from its private operator tree and pushing them into a
+// bounded queue. Two collectors drain the workers:
+//
+//  * ExchangeProduce — one bounded MPSC queue shared by all workers; batches
+//    surface in arrival order. Used only where the consumer declared that it
+//    does not observe tuple order (ExecContext::allow_unordered_root).
+//  * ExchangeMerge — one bounded SPSC queue per worker plus a k-way merge on
+//    the queue heads, keyed by the workers' common OrderDescriptor with the
+//    worker index as the tie-break. Because ParallelScan partitions its
+//    relation into contiguous pre-order ranges, each worker's stream is
+//    locally sorted and the merge re-establishes exactly the serial
+//    engine's tuple sequence — parallel execution through ExchangeMerge is
+//    deterministic and byte-identical to thread_budget=1.
+//
+// Runtime counters: each worker pipeline owns a private counter set (worker
+// 0 registers with the plan's ExecContext, workers 1..N-1 with per-worker
+// contexts owned by the exchange). After the worker threads are joined,
+// Close() rolls workers 1..N-1 up into worker 0's slots, so
+// DescribeAnalyze() renders the template pipeline with whole-exchange
+// totals. No counter is ever written by two threads.
+#ifndef ULOAD_EXEC_EXCHANGE_H_
+#define ULOAD_EXEC_EXCHANGE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/physical.h"
+
+namespace uload {
+
+// Bounded blocking queue of TupleBatches with multi-producer support and
+// cooperative shutdown (a consumer closing early unblocks producers).
+class BoundedBatchQueue {
+ public:
+  BoundedBatchQueue(size_t capacity, int producers);
+
+  // Blocks while the queue is full. Returns false once the queue was shut
+  // down — the producer should stop producing.
+  bool Push(TupleBatch batch);
+  // Each producer calls this exactly once when its stream ends.
+  void ProducerDone();
+  // Blocks until a batch is available; nullopt once every producer is done
+  // and the queue is drained (or after Shutdown()).
+  std::optional<TupleBatch> Pop();
+  // Unblocks all producers and consumers; subsequent Push() returns false.
+  void Shutdown();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<TupleBatch> queue_;
+  size_t capacity_;
+  int producers_left_;
+  bool shutdown_ = false;
+};
+
+// Scan_φ over the `part`-th of `nparts` contiguous row ranges of a
+// materialized relation. For relations in document order a contiguous row
+// range is a pre-order ID range, so slices of structural-join inputs stay
+// locally sorted; the compiler passes the proven order descriptor in.
+class ParallelScanPhys : public PhysicalOperator {
+ public:
+  ParallelScanPhys(const NestedRelation* rel, std::string name, size_t part,
+                   size_t nparts, OrderDescriptor order = OrderDescriptor());
+
+  const SchemaPtr& schema() const override { return schema_; }
+  const OrderDescriptor& order() const override { return order_; }
+  std::string label() const override;
+  bool TryAdoptOrder(const OrderDescriptor& order) override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<TupleBatch>> NextBatchImpl() override;
+  void CloseImpl() override {}
+
+ private:
+  const NestedRelation* rel_;
+  std::string name_;
+  size_t part_;
+  size_t nparts_;
+  int64_t begin_ = 0;
+  int64_t end_ = 0;
+  int64_t pos_ = 0;
+  SchemaPtr schema_;
+  OrderDescriptor order_;
+};
+
+// Common machinery of the two collectors: worker pipelines, worker threads,
+// per-worker statuses, private counter contexts, and metric roll-up.
+class ExchangeBase : public PhysicalOperator {
+ public:
+  ~ExchangeBase() override;
+
+  const SchemaPtr& schema() const override { return schema_; }
+  const OrderDescriptor& order() const override { return order_; }
+  // The template pipeline (worker 0); Describe()/DescribeAnalyze() render it
+  // once on behalf of all workers.
+  std::vector<PhysicalOperator*> children() const override;
+
+  size_t worker_count() const { return workers_.size(); }
+
+ protected:
+  explicit ExchangeBase(std::vector<PhysicalPtr> workers);
+
+  void BindChildren(ExecContext* ctx) override;
+
+  // Spawns one thread per worker; `queue_for(i)` supplies the queue worker i
+  // pushes into.
+  void StartWorkers();
+  // Shuts all queues down, joins the threads, and rolls per-worker counters
+  // up into worker 0. Safe to call when no workers run.
+  void StopWorkers();
+  // First non-OK worker status, or OK. Valid once a queue reported done or
+  // after StopWorkers().
+  Status WorkerError();
+
+  virtual BoundedBatchQueue* queue_for(size_t worker) = 0;
+
+  std::vector<PhysicalPtr> workers_;
+  SchemaPtr schema_;
+  OrderDescriptor order_;
+
+ private:
+  std::vector<std::thread> threads_;
+  std::vector<Status> statuses_;
+  std::vector<std::unique_ptr<ExecContext>> worker_ctxs_;
+  std::mutex status_mu_;
+};
+
+// Collector with one shared MPSC queue: batches surface in arrival order
+// (nondeterministic across runs). Advertises no order.
+class ExchangeProducePhys : public ExchangeBase {
+ public:
+  explicit ExchangeProducePhys(std::vector<PhysicalPtr> workers);
+  // Stops any still-running workers before the queue is destroyed.
+  ~ExchangeProducePhys() override;
+
+  std::string label() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<TupleBatch>> NextBatchImpl() override;
+  void CloseImpl() override;
+  BoundedBatchQueue* queue_for(size_t worker) override;
+
+ private:
+  std::unique_ptr<BoundedBatchQueue> queue_;
+};
+
+// Collector with one SPSC queue per worker and a k-way merge on the batch
+// heads that re-establishes the workers' common order descriptor (ties
+// break toward the lower worker index, so contiguous-range partitions
+// reproduce the serial tuple sequence exactly).
+class ExchangeMergePhys : public ExchangeBase {
+ public:
+  explicit ExchangeMergePhys(std::vector<PhysicalPtr> workers);
+  // Stops any still-running workers before the queues are destroyed.
+  ~ExchangeMergePhys() override;
+
+  std::string label() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<TupleBatch>> NextBatchImpl() override;
+  void CloseImpl() override;
+  BoundedBatchQueue* queue_for(size_t worker) override;
+
+ private:
+  // Refills worker i's head batch from its queue; false once exhausted.
+  bool EnsureHead(size_t i);
+  bool HeadLess(size_t a, size_t b) const;
+
+  std::vector<std::unique_ptr<BoundedBatchQueue>> queues_;
+  std::vector<std::optional<TupleBatch>> heads_;
+  std::vector<size_t> head_pos_;
+  std::vector<bool> done_;
+  // Top-level field indexes + direction of the merge keys.
+  std::vector<std::pair<int, bool>> key_idx_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_EXEC_EXCHANGE_H_

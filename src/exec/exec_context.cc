@@ -1,6 +1,7 @@
 #include "exec/exec_context.h"
 
 #include <cstdio>
+#include <thread>
 
 namespace uload {
 namespace {
@@ -17,6 +18,11 @@ std::string OperatorMetrics::ToString() const {
   return "batches=" + std::to_string(batches_produced) +
          " tuples=" + std::to_string(tuples_produced) +
          " open=" + FormatMs(open_ns) + " next=" + FormatMs(next_ns);
+}
+
+size_t ExecContext::DefaultThreadBudget() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
 }
 
 OperatorMetrics* ExecContext::Register(std::string label) {

@@ -1,11 +1,20 @@
 // ExecContext: shared runtime state of one physical-plan execution.
 //
 // The context owns (a) the batch-size configuration every operator picks up
-// when the compiled tree is bound to it, and (b) the per-operator runtime
-// counters (batches/tuples produced, wall-clock spent in Open and NextBatch)
-// that back the EXPLAIN-ANALYZE rendering (DescribeAnalyze). Counters live in
-// a deque so registration never invalidates previously handed-out pointers;
-// the context must outlive the operator tree bound to it.
+// when the compiled tree is bound to it, (b) the thread budget the compiler
+// may spend on Exchange operators (exec/exchange.h), and (c) the
+// per-operator runtime counters (batches/tuples produced, wall-clock spent
+// in Open and NextBatch) that back the EXPLAIN-ANALYZE rendering
+// (DescribeAnalyze). Counters live in a deque so registration never
+// invalidates previously handed-out pointers; the context must outlive the
+// operator tree bound to it.
+//
+// Threading contract: Register() and Bind() run on the compiling thread
+// only. Each operator — including every operator inside an Exchange worker
+// pipeline — owns a distinct counter slot, so workers never write a slot
+// another thread writes; Exchange aggregates its workers' slots after the
+// worker threads are joined (see exec/exchange.h). No atomics are needed on
+// the hot path.
 #ifndef ULOAD_EXEC_EXEC_CONTEXT_H_
 #define ULOAD_EXEC_EXEC_CONTEXT_H_
 
@@ -31,6 +40,15 @@ struct OperatorMetrics {
     next_ns = 0;
   }
 
+  // Adds `other`'s counters to this slot (label unchanged). Used to roll
+  // per-worker Exchange counters up into the template pipeline's slots.
+  void MergeFrom(const OperatorMetrics& other) {
+    batches_produced += other.batches_produced;
+    tuples_produced += other.tuples_produced;
+    open_ns += other.open_ns;
+    next_ns += other.next_ns;
+  }
+
   // "batches=3 tuples=2310 open=0.12ms next=4.56ms".
   std::string ToString() const;
 };
@@ -38,10 +56,28 @@ struct OperatorMetrics {
 class ExecContext {
  public:
   explicit ExecContext(size_t batch_size = TupleBatch::kDefaultCapacity)
-      : batch_size_(batch_size) {}
+      : batch_size_(batch_size), thread_budget_(DefaultThreadBudget()) {}
+
+  // max(1, std::thread::hardware_concurrency()).
+  static size_t DefaultThreadBudget();
 
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n; }
+
+  // Maximum number of worker threads the compiler may spend on Exchange
+  // operators. 1 disables intra-query parallelism entirely; the resulting
+  // execution is then bit-identical to the serial engine. Budgets > 1 stay
+  // deterministic wherever ExchangeMerge collects the workers (the compiler
+  // default); see exec/exchange.h.
+  size_t thread_budget() const { return thread_budget_; }
+  void set_thread_budget(size_t n) { thread_budget_ = n == 0 ? 1 : n; }
+
+  // Opt-in: the plan root's tuple order is not observed by the consumer, so
+  // the compiler may collect a parallelized root through ExchangeProduce
+  // (arrival order) instead of ExchangeMerge. Off by default — results stay
+  // deterministic unless the caller explicitly waives order.
+  bool allow_unordered_root() const { return allow_unordered_root_; }
+  void set_allow_unordered_root(bool v) { allow_unordered_root_ = v; }
 
   // Registers one operator and returns its stable counter slot.
   OperatorMetrics* Register(std::string label);
@@ -59,6 +95,8 @@ class ExecContext {
 
  private:
   size_t batch_size_;
+  size_t thread_budget_;
+  bool allow_unordered_root_ = false;
   std::deque<OperatorMetrics> metrics_;
 };
 

@@ -6,8 +6,10 @@
 #include <set>
 #include <unordered_map>
 
+#include "exec/exchange.h"
 #include "exec/plan_schemas.h"
 #include "exec/structural_join.h"
+#include "opt/cost.h"
 
 namespace uload {
 
@@ -83,7 +85,21 @@ std::string PhysicalOperator::DescribeAnalyze(int indent) const {
 void PhysicalOperator::Bind(ExecContext* ctx) {
   batch_size_ = ctx->batch_size();
   metrics_ = ctx->Register(label());
+  BindChildren(ctx);
+}
+
+void PhysicalOperator::BindChildren(ExecContext* ctx) {
   for (PhysicalOperator* c : children()) c->Bind(ctx);
+}
+
+void PhysicalOperator::MergeMetricsFrom(PhysicalOperator& other) {
+  metrics_->MergeFrom(*other.metrics_);
+  other.metrics_->Reset();
+  std::vector<PhysicalOperator*> mine = children();
+  std::vector<PhysicalOperator*> theirs = other.children();
+  for (size_t i = 0; i < mine.size() && i < theirs.size(); ++i) {
+    mine[i]->MergeMetricsFrom(*theirs[i]);
+  }
 }
 
 namespace {
@@ -110,6 +126,12 @@ class ScanPhys : public PhysBase {
     schema_ = rel->schema_ptr();
   }
   std::string label() const override { return "Scan_phi(" + name_ + ")"; }
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    Result<bool> sorted = IsSortedBy(order, *rel_);
+    if (!sorted.ok() || !*sorted) return false;
+    order_ = order;
+    return true;
+  }
 
  protected:
   Status OpenImpl() override {
@@ -139,6 +161,12 @@ class MaterialPhys : public PhysBase {
     order_ = std::move(order);
   }
   std::string label() const override { return label_; }
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    Result<bool> sorted = IsSortedBy(order, data_);
+    if (!sorted.ok() || !*sorted) return false;
+    order_ = order;
+    return true;
+  }
 
  protected:
   Status OpenImpl() override {
@@ -172,6 +200,13 @@ class SelectPhys : public PhysBase {
   }
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
+  }
+  // A filter preserves its input's order, so whatever order the input can
+  // prove, the selection inherits.
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    if (!input_->TryAdoptOrder(order)) return false;
+    order_ = input_->order();
+    return true;
   }
 
  protected:
@@ -822,22 +857,58 @@ class RenamePhys : public PhysBase {
 
 class Compiler {
  public:
-  explicit Compiler(const EvalContext& ctx) : ctx_(ctx) {}
+  Compiler(const EvalContext& ctx, size_t thread_budget, bool allow_unordered)
+      : ctx_(ctx),
+        thread_budget_(thread_budget == 0 ? 1 : thread_budget),
+        allow_unordered_(allow_unordered) {}
 
   Result<PhysicalPtr> Compile(const PlanPtr& plan) {
     // Keep the logical plan alive for operators that reference it.
     roots_.push_back(plan);
+    root_ = plan.get();
+    if (!in_worker_ && allow_unordered_ && thread_budget_ > 1) {
+      // The caller waived result order, so a root that is a plain filter
+      // chain over a scan can fan out through ExchangeProduce.
+      ULOAD_ASSIGN_OR_RETURN(PhysicalPtr par, TryParallelRootChain(*plan));
+      if (par) return PhysicalPtr(std::move(par));
+    }
     return Rec(*plan);
   }
 
  private:
-  // Wraps `input` in Sort_φ unless already ordered on `attr`.
+  // Wraps `input` in Sort_φ unless the stream is already ordered on `attr`
+  // or the operator can prove (TryAdoptOrder) that it is — scans over
+  // document-ordered relations satisfy structural-join requirements without
+  // an enforcer, serially and inside Exchange worker pipelines where a
+  // replicated sort would be paid once per worker.
   static PhysicalPtr EnsureOrder(PhysicalPtr input, const std::string& attr) {
     if (!input->order().empty() && input->order().keys()[0].attr == attr) {
       return input;
     }
+    if (input->TryAdoptOrder(OrderDescriptor::On(attr))) return input;
     return std::make_unique<SortPhys>(std::move(input),
                                       OrderDescriptor::On(attr));
+  }
+
+  // The Scan at the bottom of a Select* chain, or nullptr for any other
+  // shape. Chains are the fragments cheap enough to replicate per worker.
+  static const LogicalPlan* SelectChainLeaf(const LogicalPlan& p) {
+    const LogicalPlan* cur = &p;
+    while (cur->op() == PlanOp::kSelect) cur = cur->left().get();
+    return cur->op() == PlanOp::kScan ? cur : nullptr;
+  }
+
+  void EnterPartition(const LogicalPlan* leaf, size_t nparts) {
+    in_worker_ = true;
+    part_leaf_ = leaf;
+    nparts_ = nparts;
+  }
+
+  void LeavePartition() {
+    in_worker_ = false;
+    part_leaf_ = nullptr;
+    nparts_ = 1;
+    part_ = 0;
   }
 
   // Fallback: evaluate the subtree with the materializing evaluator and
@@ -850,12 +921,89 @@ class Compiler {
         std::move(data), label, OrderDescriptor()));
   }
 
+  // Fans a Select*/Scan chain out over N workers with a partitioned scan,
+  // collected in arrival order — only legal when the consumer waived order.
+  // Returns nullptr when the shape or the sizes are not eligible.
+  Result<PhysicalPtr> TryParallelRootChain(const LogicalPlan& p) {
+    const LogicalPlan* leaf = SelectChainLeaf(p);
+    if (leaf == nullptr) return PhysicalPtr();
+    auto it = ctx_.relations.find(leaf->relation());
+    if (it == ctx_.relations.end()) return PhysicalPtr();
+    size_t n = ChooseWorkerCount(it->second->size(), thread_budget_);
+    if (n < 2) return PhysicalPtr();
+    std::vector<PhysicalPtr> workers;
+    EnterPartition(leaf, n);
+    for (size_t w = 0; w < n; ++w) {
+      part_ = w;
+      Result<PhysicalPtr> sub = Rec(p);
+      if (!sub.ok()) {
+        LeavePartition();
+        return sub.status();
+      }
+      workers.push_back(std::move(*sub));
+    }
+    LeavePartition();
+    return PhysicalPtr(
+        std::make_unique<ExchangeProducePhys>(std::move(workers)));
+  }
+
+  // Fans an eligible inner structural join out: the descendant side is a
+  // Select*/Scan chain whose scan partitions into contiguous pre-order
+  // ranges, the ancestor chain is replicated per worker (the join pulls
+  // ancestors lazily, so each worker reads only the prefix its slice
+  // needs). Worker streams are disjoint and locally ordered on the
+  // descendant attribute, so ExchangeMerge reproduces the serial engine's
+  // output exactly; when this join is the plan root and the caller waived
+  // order, ExchangeProduce collects in arrival order instead. Returns
+  // nullptr when the shape or the sizes are not eligible.
+  Result<PhysicalPtr> TryParallelStructuralJoin(const LogicalPlan& p,
+                                                int anc_idx, int desc_idx) {
+    if (in_worker_ || thread_budget_ < 2) return PhysicalPtr();
+    const LogicalPlan* anc_leaf = SelectChainLeaf(*p.left());
+    const LogicalPlan* desc_leaf = SelectChainLeaf(*p.right());
+    // Distinct leaves required: partitioning is keyed by plan node, and a
+    // shared node would slice the ancestor side too.
+    if (anc_leaf == nullptr || desc_leaf == nullptr || anc_leaf == desc_leaf) {
+      return PhysicalPtr();
+    }
+    auto dit = ctx_.relations.find(desc_leaf->relation());
+    if (dit == ctx_.relations.end()) return PhysicalPtr();
+    size_t n = ChooseWorkerCount(dit->second->size(), thread_budget_);
+    if (n < 2) return PhysicalPtr();
+    std::vector<PhysicalPtr> workers;
+    EnterPartition(desc_leaf, n);
+    for (size_t w = 0; w < n; ++w) {
+      part_ = w;
+      Result<PhysicalPtr> l = Rec(*p.left());
+      Result<PhysicalPtr> r = Rec(*p.right());
+      if (!l.ok() || !r.ok()) {
+        LeavePartition();
+        return !l.ok() ? l.status() : r.status();
+      }
+      PhysicalPtr anc = EnsureOrder(std::move(*l), p.left_attr());
+      PhysicalPtr desc = EnsureOrder(std::move(*r), p.right_attr());
+      workers.push_back(std::make_unique<StackTreeDescPhys>(
+          std::move(anc), std::move(desc), anc_idx, desc_idx, p.axis()));
+    }
+    LeavePartition();
+    if (allow_unordered_ && &p == root_) {
+      return PhysicalPtr(
+          std::make_unique<ExchangeProducePhys>(std::move(workers)));
+    }
+    return PhysicalPtr(
+        std::make_unique<ExchangeMergePhys>(std::move(workers)));
+  }
+
   Result<PhysicalPtr> Rec(const LogicalPlan& p) {
     switch (p.op()) {
       case PlanOp::kScan: {
         auto it = ctx_.relations.find(p.relation());
         if (it == ctx_.relations.end()) {
           return Status::NotFound("relation '" + p.relation() + "' unbound");
+        }
+        if (in_worker_ && part_leaf_ == &p) {
+          return PhysicalPtr(std::make_unique<ParallelScanPhys>(
+              it->second, p.relation(), part_, nparts_));
         }
         return PhysicalPtr(
             std::make_unique<ScanPhys>(it->second, p.relation()));
@@ -899,6 +1047,10 @@ class Compiler {
         auto rres = ResolveAttrPath(*SchemaOf(p.right()), p.right_attr());
         if (p.variant() == JoinVariant::kInner && lres.ok() && rres.ok() &&
             lres->size() == 1 && rres->size() == 1) {
+          ULOAD_ASSIGN_OR_RETURN(
+              PhysicalPtr par,
+              TryParallelStructuralJoin(p, (*lres)[0], (*rres)[0]));
+          if (par) return PhysicalPtr(std::move(par));
           ULOAD_ASSIGN_OR_RETURN(PhysicalPtr l, Rec(*p.left()));
           ULOAD_ASSIGN_OR_RETURN(PhysicalPtr r, Rec(*p.right()));
           PhysicalPtr anc = EnsureOrder(std::move(l), p.left_attr());
@@ -950,6 +1102,16 @@ class Compiler {
   }
 
   const EvalContext& ctx_;
+  size_t thread_budget_;
+  bool allow_unordered_;
+  const LogicalPlan* root_ = nullptr;
+  // Worker-pipeline compilation state: while set, the scan at `part_leaf_`
+  // compiles into slice `part_` of `nparts_`, and no nested exchange is
+  // placed.
+  bool in_worker_ = false;
+  const LogicalPlan* part_leaf_ = nullptr;
+  size_t part_ = 0;
+  size_t nparts_ = 1;
   std::vector<PlanPtr> roots_;
 };
 
@@ -958,7 +1120,8 @@ class Compiler {
 Result<PhysicalPtr> CompilePhysicalPlan(const PlanPtr& plan,
                                         const EvalContext& ctx,
                                         ExecContext* exec) {
-  Compiler compiler(ctx);
+  Compiler compiler(ctx, exec == nullptr ? 1 : exec->thread_budget(),
+                    exec != nullptr && exec->allow_unordered_root());
   ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root, compiler.Compile(plan));
   if (exec != nullptr) root->Bind(exec);
   return root;

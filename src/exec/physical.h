@@ -74,8 +74,26 @@ class PhysicalOperator {
   // Binds this subtree to `ctx`: operators adopt the configured batch size
   // and register their runtime counters with the context. `ctx` must
   // outlive the operator tree. Without a bind, operators run with the
-  // default batch size and keep counters in a private slot.
+  // default batch size and keep counters in a private slot. Must be called
+  // from the compiling thread only (see ExecContext threading contract).
   void Bind(ExecContext* ctx);
+
+  // If this operator can prove its output already satisfies `order` (e.g. a
+  // scan over a relation that is physically sorted on the order's key), it
+  // adopts the descriptor as its advertised order and returns true. The
+  // compiler uses this to elide Sort_φ enforcers above document-ordered
+  // scans — serially and inside Exchange worker pipelines, where a
+  // replicated sort would be paid once per worker.
+  virtual bool TryAdoptOrder(const OrderDescriptor& order) {
+    (void)order;
+    return false;
+  }
+
+  // Adds `other`'s runtime counters (recursively, zipping children) into
+  // this subtree's counters and resets `other`'s. Both trees must have the
+  // same shape; Exchange uses this to roll per-worker pipelines up into the
+  // template pipeline after the worker threads are joined.
+  void MergeMetricsFrom(PhysicalOperator& other);
 
   const OperatorMetrics& metrics() const { return *metrics_; }
 
@@ -83,6 +101,11 @@ class PhysicalOperator {
   virtual Status OpenImpl() = 0;
   virtual Result<std::optional<TupleBatch>> NextBatchImpl() = 0;
   virtual void CloseImpl() = 0;
+
+  // Bind() hook for the subtree below this operator; the default binds
+  // children() to the same context. Exchange overrides it to bind each
+  // worker pipeline to a private per-worker counter set.
+  virtual void BindChildren(ExecContext* ctx);
 
   // Configured fill target for produced batches.
   size_t batch_size() const { return batch_size_; }

@@ -65,6 +65,12 @@ double EstimateCardinality(const Xam& pattern, const PathSummary& summary) {
   return total;
 }
 
+size_t ChooseWorkerCount(int64_t rows, size_t budget) {
+  if (budget < 2 || rows < 2) return 1;
+  size_t workers = std::min(budget, static_cast<size_t>(64));
+  return std::min(workers, static_cast<size_t>(rows));
+}
+
 double IterationOverhead(double card, const CostModel& model) {
   double tuples = std::max(card, 0.0);
   double batches =
@@ -119,8 +125,22 @@ double EstimatePlanCost(
         double card = std::min(l.card * r.card,
                                std::max(l.card, r.card) * 4.0);
         if (p.variant() == JoinVariant::kSemi) card = l.card;
-        return Est{l.cost + r.cost + (l.card + r.card) * model.join_weight,
-                   card};
+        double join_cost = (l.card + r.card) * model.join_weight;
+        // Structural joins are the operators the physical compiler can fan
+        // out over worker threads (descendant side partitioned, exchange on
+        // top): the join work divides across workers, but each worker costs
+        // a startup and every output tuple crosses the exchange.
+        size_t workers =
+            p.op() == PlanOp::kStructuralJoin
+                ? ChooseWorkerCount(static_cast<int64_t>(r.card),
+                                    model.thread_budget)
+                : 1;
+        if (workers > 1) {
+          join_cost = join_cost / static_cast<double>(workers) +
+                      static_cast<double>(workers) * model.worker_startup +
+                      card * model.exchange_tuple_weight;
+        }
+        return Est{l.cost + r.cost + join_cost, card};
       }
       case PlanOp::kUnion: {
         Est l = rec(*p.left());

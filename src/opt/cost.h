@@ -40,12 +40,30 @@ struct CostModel {
   double per_tuple_overhead = 0.05;  // residual cost per tuple per operator
   double per_batch_overhead = 2.0;   // fixed cost per NextBatch() call
   double batch_size = 1024.0;        // configured tuples per batch
+
+  // Intra-query parallelism (exec/exchange.h): the physical compiler may
+  // fan a structural join out over worker threads, partitioning the
+  // descendant scan and collecting through an exchange. Spawning a worker
+  // costs `worker_startup`; every tuple crossing the exchange queue plus
+  // the k-way merge pays `exchange_tuple_weight`. `thread_budget` mirrors
+  // ExecContext::thread_budget() so plan costs can be ranked for the
+  // parallelism the engine will actually use (1 = serial).
+  double worker_startup = 50.0;
+  double exchange_tuple_weight = 0.1;
+  size_t thread_budget = 1;
 };
 
 // Iteration overhead one operator pays to push `card` tuples downstream:
 // per-tuple residual plus the per-batch cost of ceil(card / batch_size)
 // NextBatch() calls (at least one call even for an empty stream).
 double IterationOverhead(double card, const CostModel& model);
+
+// Number of Exchange workers worth spawning to partition an input of `rows`
+// tuples under `budget` threads: min(budget, rows), capped at 64 so a huge
+// budget cannot degenerate into thousands of near-empty partitions. Returns
+// 1 (serial) when the budget or the input cannot sustain two workers. The
+// physical compiler and the cost estimator share this policy.
+size_t ChooseWorkerCount(int64_t rows, size_t budget);
 
 // Estimated cost of a plan whose leaf scans are the named patterns.
 // `view_cards` supplies per-relation base cardinalities (e.g. from the

@@ -318,4 +318,37 @@ bool ValueFormula::IsSingleEquality(AtomicValue* c) const {
   return true;
 }
 
+bool ValueFormula::IsSingleInterval(AtomicValue* lo, bool* lo_inclusive,
+                                    bool* has_lo, AtomicValue* hi,
+                                    bool* hi_inclusive, bool* has_hi) const {
+  if (intervals_.size() != 1) return false;
+  const Interval& iv = intervals_[0];
+  *has_lo = !iv.lo.infinite;
+  if (*has_lo) {
+    *lo = iv.lo.value;
+    *lo_inclusive = iv.lo.inclusive;
+  }
+  *has_hi = !iv.hi.infinite;
+  if (*has_hi) {
+    *hi = iv.hi.value;
+    *hi_inclusive = iv.hi.inclusive;
+  }
+  return true;
+}
+
+bool ValueFormula::IsSingleExclusion(AtomicValue* c) const {
+  if (intervals_.size() != 2) return false;
+  const Interval& below = intervals_[0];
+  const Interval& above = intervals_[1];
+  if (!below.lo.infinite || below.hi.infinite || below.hi.inclusive) {
+    return false;
+  }
+  if (above.lo.infinite || !above.hi.infinite || above.lo.inclusive) {
+    return false;
+  }
+  if (AtomicValue::Compare(below.hi.value, above.lo.value) != 0) return false;
+  if (c != nullptr) *c = below.hi.value;
+  return true;
+}
+
 }  // namespace uload

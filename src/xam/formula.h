@@ -55,6 +55,19 @@ class ValueFormula {
   // True if this formula is exactly "v = c" for a single constant.
   bool IsSingleEquality(AtomicValue* c) const;
 
+  // True if this formula is one interval — i.e. a conjunction of at most
+  // two bound atoms. Bounds are reported through the out-params; an
+  // infinite end sets has_lo/has_hi to false. The always-true formula and
+  // single equalities are intervals too; callers that want the special
+  // renderings check IsTrue()/IsSingleEquality() first. The printer uses
+  // this to render interval formulas as parseable "val>lo val<=hi" atoms.
+  bool IsSingleInterval(AtomicValue* lo, bool* lo_inclusive, bool* has_lo,
+                        AtomicValue* hi, bool* hi_inclusive, bool* has_hi)
+      const;
+
+  // True if this formula is exactly "v ≠ c" (the complement of one point).
+  bool IsSingleExclusion(AtomicValue* c) const;
+
   // Equivalent predicate over the (dotted) attribute `attr`: a disjunction
   // of per-interval bound conjunctions. False formulas translate to
   // not(true).

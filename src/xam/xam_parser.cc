@@ -31,6 +31,8 @@ struct PendingEdge {
 };
 
 // Tokenizes a line respecting "quoted strings" (quotes may contain spaces).
+// An unquoted '#' starts a comment running to end of line; the printer emits
+// such comments for formulas outside the atom grammar.
 std::vector<std::string> Tokenize(std::string_view line) {
   std::vector<std::string> out;
   std::string cur;
@@ -41,6 +43,7 @@ std::vector<std::string> Tokenize(std::string_view line) {
       if (c == '"') in_quotes = false;
       continue;
     }
+    if (c == '#') break;
     if (c == '"') {
       cur += c;
       in_quotes = true;

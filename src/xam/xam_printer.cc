@@ -19,6 +19,29 @@ const char* VariantCode(JoinVariant v) {
   return "j";
 }
 
+std::string ConstantCode(const AtomicValue& c) {
+  return c.is_string() ? "\"" + c.as_string() + "\"" : c.ToString();
+}
+
+// Renders the value formula as parseable "val θ c" atoms, or falls back to
+// a trailing comment for formulas outside the single-atom grammar
+// (multi-interval unions, False). The caller appends the result verbatim.
+std::string FormulaCode(const ValueFormula& f) {
+  if (f.IsTrue()) return "";
+  AtomicValue c;
+  if (f.IsSingleEquality(&c)) return " val=" + ConstantCode(c);
+  if (f.IsSingleExclusion(&c)) return " val!=" + ConstantCode(c);
+  AtomicValue lo, hi;
+  bool lo_inc = false, has_lo = false, hi_inc = false, has_hi = false;
+  if (f.IsSingleInterval(&lo, &lo_inc, &has_lo, &hi, &hi_inc, &has_hi)) {
+    std::string out;
+    if (has_lo) out += std::string(lo_inc ? " val>=" : " val>") + ConstantCode(lo);
+    if (has_hi) out += std::string(hi_inc ? " val<=" : " val<") + ConstantCode(hi);
+    return out;
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string PrintXam(const Xam& xam) {
@@ -41,16 +64,15 @@ std::string PrintXam(const Xam& xam) {
     }
     if (n.stores_tag) out += n.tag_required ? " tag!" : " tag";
     if (n.stores_val) out += n.val_required ? " val!" : " val";
-    AtomicValue c;
-    if (n.val_formula.IsSingleEquality(&c)) {
-      out += " val=";
-      out += c.is_string() ? "\"" + c.as_string() + "\"" : c.ToString();
-    } else if (!n.val_formula.IsTrue()) {
-      // General formulas are not expressible in single-atom syntax; emit a
-      // comment so the output stays parseable.
+    std::string formula = FormulaCode(n.val_formula);
+    out += formula;
+    if (n.stores_cont) out += " cont";
+    if (formula.empty() && !n.val_formula.IsTrue()) {
+      // Formulas outside the single-conjunction grammar (interval unions,
+      // False) have no atom syntax; record them in a comment after all real
+      // options so the line stays parseable and nothing is swallowed.
       out += "  # formula: " + n.val_formula.ToString();
     }
-    if (n.stores_cont) out += " cont";
     out += "\n";
   }
   for (XamNodeId id : xam.PreOrder()) {

@@ -109,5 +109,36 @@ TEST_F(CostTest, RewriterPrefersCheaperAccessPath) {
   }
 }
 
+TEST(ChooseWorkerCountTest, RespectsBudgetRowsAndCap) {
+  // Serial when the budget or the input is too small to split.
+  EXPECT_EQ(ChooseWorkerCount(1000, 0), 1u);
+  EXPECT_EQ(ChooseWorkerCount(1000, 1), 1u);
+  EXPECT_EQ(ChooseWorkerCount(0, 8), 1u);
+  EXPECT_EQ(ChooseWorkerCount(1, 8), 1u);
+  // Otherwise min(budget, rows, 64): never more workers than rows, never
+  // more than the hard cap.
+  EXPECT_EQ(ChooseWorkerCount(1000, 4), 4u);
+  EXPECT_EQ(ChooseWorkerCount(3, 8), 3u);
+  EXPECT_EQ(ChooseWorkerCount(1'000'000, 1000), 64u);
+}
+
+TEST_F(CostTest, ParallelJoinCostReflectsStartup) {
+  // With a generous thread budget a big structural join estimates cheaper
+  // than serial (the join work divides across workers), while a tiny join
+  // stays serial-priced (ChooseWorkerCount refuses to split it).
+  PlanPtr join = LogicalPlan::StructuralJoin(
+      LogicalPlan::Scan("v"), LogicalPlan::Scan("w"), "a", Axis::kDescendant,
+      "b", JoinVariant::kInner);
+  auto big = [](const std::string&) { return 100000.0; };
+  auto tiny = [](const std::string&) { return 1.0; };
+  CostModel serial;
+  CostModel parallel;
+  parallel.thread_budget = 8;
+  EXPECT_LT(EstimatePlanCost(*join, summary_, big, parallel),
+            EstimatePlanCost(*join, summary_, big, serial));
+  EXPECT_EQ(EstimatePlanCost(*join, summary_, tiny, parallel),
+            EstimatePlanCost(*join, summary_, tiny, serial));
+}
+
 }  // namespace
 }  // namespace uload

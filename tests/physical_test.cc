@@ -57,12 +57,25 @@ TEST_F(PhysicalTest, StreamingStructuralJoin) {
       LogicalPlan::Scan("people"), LogicalPlan::Scan("names"), "p_ID",
       Axis::kChild, "n_ID", JoinVariant::kInner);
   CheckAgree(join);
-  // The compiled tree uses the streaming StackTreeDesc with Sort enforcers.
+  // The compiled tree uses the streaming StackTreeDesc. The tag collections
+  // are physically in document order, so the scans prove their order
+  // (TryAdoptOrder) and no Sort_phi enforcer is needed.
   auto phys = CompilePhysicalPlan(join, ctx_);
   ASSERT_TRUE(phys.ok());
   std::string desc = (*phys)->Describe();
   EXPECT_NE(desc.find("StackTreeDesc_phi"), std::string::npos) << desc;
-  EXPECT_NE(desc.find("Sort_phi"), std::string::npos) << desc;
+  EXPECT_EQ(desc.find("Sort_phi"), std::string::npos) << desc;
+
+  // Piping one structural join into another breaks the requirement on the
+  // ancestor side — the inner join's output is ordered on its *descendant*
+  // attribute — so there the compiler must still insert the enforcer.
+  PlanPtr piped = LogicalPlan::StructuralJoin(
+      join, LogicalPlan::Scan("names"), "p_ID", Axis::kDescendant, "n_ID",
+      JoinVariant::kInner);
+  auto piped_phys = CompilePhysicalPlan(piped, ctx_);
+  ASSERT_TRUE(piped_phys.ok());
+  std::string piped_desc = (*piped_phys)->Describe();
+  EXPECT_NE(piped_desc.find("Sort_phi"), std::string::npos) << piped_desc;
 }
 
 TEST_F(PhysicalTest, SortedInputsSkipEnforcers) {

@@ -1,0 +1,166 @@
+// Property test: the XAM text syntax is a faithful serialization.
+// Parse(Print(x)) must be structurally identical to x for every pattern the
+// generator can produce, and printing must reach a fixpoint after one
+// round trip. Hand-written cases cover the corners the generator does not
+// reach: interval formulas, exclusions, and the regression where ` cont`
+// was emitted after a mid-line `# formula:` comment and swallowed.
+#include <gtest/gtest.h>
+
+#include "workload/pattern_gen.h"
+#include "workload/xmark.h"
+#include "xam/xam.h"
+#include "xam/xam_parser.h"
+#include "xam/xam_printer.h"
+
+namespace uload {
+namespace {
+
+class XamRoundtripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = GenerateXMark(XMarkScale(0.02));
+    summary_ = PathSummary::Build(&doc_);
+  }
+
+  // Asserts the full identity: parse succeeds, the reparsed XAM is
+  // structurally equal (names ignored, formulas compared semantically), and
+  // printing is a fixpoint.
+  void CheckRoundtrip(const Xam& x, const std::string& what) {
+    std::string text = PrintXam(x);
+    auto reparsed = ParseXam(text);
+    ASSERT_TRUE(reparsed.ok())
+        << what << ": " << reparsed.status().ToString() << "\n" << text;
+    EXPECT_TRUE(x.StructurallyEquals(*reparsed))
+        << what << ": reparse not structurally equal\n" << text << "\nvs\n"
+        << PrintXam(*reparsed);
+    EXPECT_EQ(text, PrintXam(*reparsed))
+        << what << ": print not a fixpoint";
+  }
+
+  Document doc_;
+  PathSummary summary_;
+};
+
+TEST_F(XamRoundtripTest, GeneratedPatternsRoundtrip) {
+  // The generator only emits single-equality formulas, so the full identity
+  // must hold for every seed.
+  PatternGenOptions opts;
+  for (uint32_t seed = 0; seed < 200; ++seed) {
+    PatternGenerator gen(&summary_, seed);
+    Xam x = gen.Generate(opts);
+    CheckRoundtrip(x, "seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(XamRoundtripTest, GeneratedPatternVariationsRoundtrip) {
+  // Sweep the generator knobs so optional edges, wildcards, multiple return
+  // nodes and deep patterns all hit the printer.
+  for (uint32_t seed = 0; seed < 50; ++seed) {
+    PatternGenOptions opts;
+    opts.nodes = 3 + static_cast<int>(seed % 8);
+    opts.return_nodes = 1 + static_cast<int>(seed % 3);
+    opts.predicate_percent = 60;
+    opts.optional_percent = 80;
+    PatternGenerator gen(&summary_, 1000 + seed);
+    Xam x = gen.Generate(opts);
+    CheckRoundtrip(x, "variation seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(XamRoundtripTest, EqualityFormulas) {
+  Xam x;
+  XamNodeId n = x.AddNode(kXamRoot, Axis::kDescendant, "item");
+  x.StoreId(n).StoreVal(n);
+  x.ValPredicate(n, ValueFormula::Equals(AtomicValue::Number(42)));
+  CheckRoundtrip(x, "numeric equality");
+
+  Xam y;
+  XamNodeId m = y.AddNode(kXamRoot, Axis::kDescendant, "name");
+  y.StoreId(m);
+  y.ValPredicate(m, ValueFormula::Equals(AtomicValue::String("two words")));
+  CheckRoundtrip(y, "quoted string equality");
+}
+
+TEST_F(XamRoundtripTest, IntervalFormulas) {
+  struct Case {
+    ValueFormula f;
+    const char* what;
+  } cases[] = {
+      {ValueFormula::Atom(Comparator::kGt, AtomicValue::Number(3)),
+       "open lower bound"},
+      {ValueFormula::Atom(Comparator::kGe, AtomicValue::Number(3)),
+       "closed lower bound"},
+      {ValueFormula::Atom(Comparator::kLt, AtomicValue::Number(9)),
+       "open upper bound"},
+      {ValueFormula::Atom(Comparator::kLe, AtomicValue::Number(9)),
+       "closed upper bound"},
+      {ValueFormula::Atom(Comparator::kGe, AtomicValue::Number(3))
+           .And(ValueFormula::Atom(Comparator::kLt, AtomicValue::Number(9))),
+       "half-open interval"},
+      {ValueFormula::Atom(Comparator::kGt, AtomicValue::String("a"))
+           .And(ValueFormula::Atom(Comparator::kLe, AtomicValue::String("m"))),
+       "string interval"},
+  };
+  for (const Case& c : cases) {
+    Xam x;
+    XamNodeId n = x.AddNode(kXamRoot, Axis::kDescendant, "item");
+    x.StoreId(n);
+    x.ValPredicate(n, c.f);
+    CheckRoundtrip(x, c.what);
+  }
+}
+
+TEST_F(XamRoundtripTest, ExclusionFormulas) {
+  Xam x;
+  XamNodeId n = x.AddNode(kXamRoot, Axis::kDescendant, "item");
+  x.StoreId(n);
+  x.ValPredicate(n, ValueFormula::Atom(Comparator::kNe, AtomicValue::Number(7)));
+  CheckRoundtrip(x, "numeric exclusion");
+
+  Xam y;
+  XamNodeId m = y.AddNode(kXamRoot, Axis::kDescendant, "name");
+  y.StoreId(m);
+  y.ValPredicate(m,
+                 ValueFormula::Atom(Comparator::kNe, AtomicValue::String("x")));
+  CheckRoundtrip(y, "string exclusion");
+}
+
+TEST_F(XamRoundtripTest, ContSurvivesUnprintableFormula) {
+  // Regression: a formula outside the single-conjunction grammar falls back
+  // to a trailing comment. ` cont` used to be appended after that comment
+  // and silently swallowed on reparse. The formula itself is lossy (that is
+  // what the comment records), but every other option must survive.
+  Xam x;
+  XamNodeId n = x.AddNode(kXamRoot, Axis::kDescendant, "item");
+  x.StoreId(n).StoreCont(n);
+  ValueFormula two_intervals =
+      ValueFormula::Equals(AtomicValue::Number(1))
+          .Or(ValueFormula::Equals(AtomicValue::Number(5)));
+  x.ValPredicate(n, two_intervals);
+
+  std::string text = PrintXam(x);
+  EXPECT_NE(text.find(" cont"), std::string::npos) << text;
+  EXPECT_NE(text.find("# formula:"), std::string::npos) << text;
+  auto reparsed = ParseXam(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  XamNodeId m = (*reparsed).PreOrder()[1];
+  EXPECT_TRUE((*reparsed).node(m).stores_cont) << text;
+  EXPECT_TRUE((*reparsed).node(m).stores_id);
+  // The multi-interval formula is not expressible; it degrades to True.
+  EXPECT_TRUE((*reparsed).node(m).val_formula.IsTrue());
+}
+
+TEST_F(XamRoundtripTest, MidLineCommentsAreIgnored) {
+  auto x = ParseXam(
+      "xam  # header comment\n"
+      "node e1 label=person id=s  # trailing note\n"
+      "edge top // j e1  # edge note\n");
+  ASSERT_TRUE(x.ok()) << x.status().ToString();
+  EXPECT_EQ(x->size(), 2);
+  XamNodeId n = x->NodeByName("e1");
+  ASSERT_NE(n, -1);
+  EXPECT_TRUE(x->node(n).stores_id);
+}
+
+}  // namespace
+}  // namespace uload
