@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification in the normal and sanitizer configurations:
-#   scripts/check.sh          # normal, then ASAN/UBSAN, then TSAN
+#   scripts/check.sh          # normal, bench smoke, ASAN/UBSAN, TSAN
 #   scripts/check.sh fast     # normal configuration only
 # The TSAN configuration runs only the threaded/executor tests (the Exchange
-# worker pool, the physical engine and the parallel differential harness);
-# the rest of the suite is single-threaded and covered by the other configs.
+# worker pool, the physical engine, the parallel differential harness and the
+# engine facade's batch/thread sweep); the rest of the suite is
+# single-threaded and covered by the other configs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,14 @@ echo "== normal configuration =="
 run_config build
 
 if [[ "${1:-}" != "fast" ]]; then
+  echo "== bench smoke (Release) =="
+  # Build every bench target in Release so bench sources can't rot, then run
+  # the end-to-end query bench for one iteration over a tiny document — it
+  # doubles as a Release-mode differential check (streaming vs legacy).
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j --target benches
+  ./build-release/bench/bench_query_e2e --smoke
+
   echo "== ASAN/UBSAN configuration =="
   run_config build-asan -DASAN=ON
 
@@ -27,7 +36,7 @@ if [[ "${1:-}" != "fast" ]]; then
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/uload_tests \
-    --gtest_filter='*Parallel*:*BoundedBatchQueue*:*Physical*:*Exec*'
+    --gtest_filter='*Parallel*:*BoundedBatchQueue*:*Physical*:*Exec*:*Engine*:*IndexScan*'
 fi
 
 echo "All checks passed."

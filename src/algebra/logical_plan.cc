@@ -162,6 +162,25 @@ PlanPtr LogicalPlan::PrefixNames(PlanPtr input, std::string prefix) {
   return p;
 }
 
+PlanPtr LogicalPlan::Retype(PlanPtr input, SchemaPtr schema) {
+  ULOAD_PLAN_FACTORY_PROLOG(kRetype)
+  m->left_ = std::move(input);
+  m->retype_schema_ = std::move(schema);
+  return p;
+}
+
+PlanPtr LogicalPlan::SortOp(PlanPtr input, std::vector<std::string> keys) {
+  ULOAD_PLAN_FACTORY_PROLOG(kSortOp)
+  m->left_ = std::move(input);
+  m->attrs_ = std::move(keys);
+  return p;
+}
+
+PlanPtr LogicalPlan::Unit() {
+  ULOAD_PLAN_FACTORY_PROLOG(kUnit)
+  return p;
+}
+
 #undef ULOAD_PLAN_FACTORY_PROLOG
 
 int LogicalPlan::OperatorCount() const {
@@ -254,6 +273,21 @@ void LogicalPlan::Render(int indent, std::string* out) const {
       *out += " as " + nav_emit_.prefix + "]\n";
       break;
     }
+    case PlanOp::kRetype:
+      *out += "Retype{" + retype_schema_->ToString() + "}\n";
+      break;
+    case PlanOp::kSortOp: {
+      *out += "Sort[";
+      for (size_t i = 0; i < attrs_.size(); ++i) {
+        if (i) *out += ", ";
+        *out += attrs_[i];
+      }
+      *out += "]\n";
+      break;
+    }
+    case PlanOp::kUnit:
+      *out += "Unit\n";
+      return;
   }
   if (left_) left_->Render(indent + 1, out);
   if (right_) right_->Render(indent + 1, out);

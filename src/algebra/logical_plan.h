@@ -37,6 +37,9 @@ enum class PlanOp : uint8_t {
   kDeriveParent,    // Dewey-only: append the ancestor id at a given depth
   kNavigate,        // evaluate path steps from stored ids into the document
   kPrefixNames,     // rename every attribute (at all levels) with a prefix
+  kRetype,          // re-tag the stream with a structurally identical schema
+  kSortOp,          // Sort_φ enforcer: order by top-level atomic attributes
+  kUnit,            // the unit relation: empty schema, one empty tuple
 };
 
 enum class JoinVariant : uint8_t {
@@ -106,6 +109,18 @@ class LogicalPlan {
   // Renames every attribute at every nesting level to <prefix><name>; used
   // when combining views so column names stay unique across sources.
   static PlanPtr PrefixNames(PlanPtr input, std::string prefix);
+  // Re-tags the stream under `schema`, which must have the same structural
+  // shape (atomic/collection pattern) as the input's schema. Metadata-only:
+  // the rewriter uses it to align a view plan's columns with the query
+  // pattern's attribute names.
+  static PlanPtr Retype(PlanPtr input, SchemaPtr schema);
+  // Sort_φ enforcer: orders the stream by the given top-level atomic
+  // attributes (ascending, in key order). The physical compiler elides it
+  // when the input stream can prove the order already holds.
+  static PlanPtr SortOp(PlanPtr input, std::vector<std::string> keys);
+  // The unit relation: no attributes, exactly one (empty) tuple. Constant
+  // queries (no data access) run their template over it.
+  static PlanPtr Unit();
 
   // --- Accessors -----------------------------------------------------------
   PlanOp op() const { return op_; }
@@ -128,6 +143,7 @@ class LogicalPlan {
   const std::vector<NavStep>& nav_steps() const { return nav_steps_; }
   const NavEmit& nav_emit() const { return nav_emit_; }
   uint32_t target_depth() const { return target_depth_; }
+  const SchemaPtr& retype_schema() const { return retype_schema_; }
 
   // Number of operators in the plan (rewriting prefers minimal plans, §5.3).
   int OperatorCount() const;
@@ -159,6 +175,7 @@ class LogicalPlan {
   std::vector<NavStep> nav_steps_;
   NavEmit nav_emit_;
   uint32_t target_depth_ = 0;
+  SchemaPtr retype_schema_;
 };
 
 }  // namespace uload

@@ -132,13 +132,18 @@ std::string XmlTemplate::ToString() const {
   return out;
 }
 
+Status ApplyTemplateToTuple(const XmlTemplate& templ, const Schema& schema,
+                            const Tuple& tuple, std::string* out) {
+  RootCtx root{&schema, &tuple};
+  return InstantiateChildren(templ.roots, schema, tuple, root, out);
+}
+
 Result<std::string> ApplyTemplate(const XmlTemplate& templ,
                                   const NestedRelation& input) {
   std::string out;
   for (const Tuple& t : input.tuples()) {
-    RootCtx root{&input.schema(), &t};
     ULOAD_RETURN_NOT_OK(
-        InstantiateChildren(templ.roots, input.schema(), t, root, &out));
+        ApplyTemplateToTuple(templ, input.schema(), t, &out));
   }
   return out;
 }

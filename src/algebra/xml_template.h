@@ -84,6 +84,13 @@ struct XmlTemplate {
 Result<std::string> ApplyTemplate(const XmlTemplate& templ,
                                   const NestedRelation& input);
 
+// Streaming form: instantiates `templ` on a single tuple of `schema`,
+// appending the serialization to `*out`. A batch-at-a-time consumer calls
+// this per tuple as batches arrive, so the full result relation is never
+// materialized (exec/physical.h, engine/engine.h).
+Status ApplyTemplateToTuple(const XmlTemplate& templ, const Schema& schema,
+                            const Tuple& tuple, std::string* out);
+
 }  // namespace uload
 
 #endif  // ULOAD_ALGEBRA_XML_TEMPLATE_H_

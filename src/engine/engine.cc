@@ -1,0 +1,79 @@
+#include "engine/engine.h"
+
+#include "exec/physical.h"
+
+namespace uload {
+
+Engine::Engine(Document doc) : Engine(std::move(doc), Options()) {}
+
+Engine::Engine(Document doc, Options options)
+    : doc_(std::move(doc)), options_(options), exec_(options.batch_size) {
+  summary_ = PathSummary::Build(&doc_);
+  exec_.set_thread_budget(options_.thread_budget);
+}
+
+Status Engine::InstallModel(std::vector<NamedXam> model) {
+  catalog_ = Catalog();
+  for (NamedXam& v : model) {
+    ULOAD_RETURN_NOT_OK(catalog_.AddXam(v.name, std::move(v.xam), doc_));
+  }
+  return Status::Ok();
+}
+
+Status Engine::AddView(std::string name, Xam definition) {
+  return catalog_.AddXam(std::move(name), std::move(definition), doc_);
+}
+
+Result<QueryRewriteResult> Engine::RewriteQuery(
+    const std::string& query) const {
+  QueryRewriter qr(&summary_, &catalog_);
+  return qr.Rewrite(query, options_.rewrite);
+}
+
+Result<std::string> Engine::Run(const std::string& query) {
+  ULOAD_ASSIGN_OR_RETURN(QueryRewriteResult r, RewriteQuery(query));
+  QueryRewriter qr(&summary_, &catalog_);
+  exec_.ClearMetrics();
+  return qr.Execute(r, &doc_, &exec_);
+}
+
+Result<Engine::Explanation> Engine::Explain(const std::string& query) {
+  ULOAD_ASSIGN_OR_RETURN(QueryRewriteResult r, RewriteQuery(query));
+  QueryRewriter qr(&summary_, &catalog_);
+  ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
+  EvalContext ctx = catalog_.MakeEvalContext(&doc_);
+  exec_.ClearMetrics();
+  ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
+                         CompilePhysicalPlan(plan, ctx, &exec_));
+  Explanation out;
+  out.logical = plan->ToString();
+  out.physical = root->Describe();
+  return out;
+}
+
+Result<Engine::Explanation> Engine::ExplainAnalyze(const std::string& query) {
+  ULOAD_ASSIGN_OR_RETURN(QueryRewriteResult r, RewriteQuery(query));
+  QueryRewriter qr(&summary_, &catalog_);
+  ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
+  EvalContext ctx = catalog_.MakeEvalContext(&doc_);
+  exec_.ClearMetrics();
+  ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
+                         CompilePhysicalPlan(plan, ctx, &exec_));
+  Explanation out;
+  out.logical = plan->ToString();
+  ULOAD_RETURN_NOT_OK(root->Open());
+  for (;;) {
+    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, root->NextBatch());
+    if (!b.has_value()) break;
+    for (const Tuple& t : b->tuples()) {
+      ULOAD_RETURN_NOT_OK(ApplyTemplateToTuple(r.translation.templ,
+                                               *root->schema(), t,
+                                               &out.result));
+    }
+  }
+  root->Close();
+  out.physical = root->DescribeAnalyze();
+  return out;
+}
+
+}  // namespace uload

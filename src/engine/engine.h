@@ -1,0 +1,75 @@
+// The engine facade (thesis Fig. 5.1 as a serving stack): one object owning
+// the document, its path summary, the catalog of materialized XAMs, and the
+// execution context, behind a three-call surface —
+//   Run(query)             rewrite + streaming physical execution → XML
+//   Explain(query)         combined logical plan + physical operator tree
+//   ExplainAnalyze(query)  Run, returning the plan annotated with the
+//                          per-operator runtime counters it just produced
+// The serving path is fully streaming: the rewriter's combined plan compiles
+// into the batched physical executor and tuples feed the tagging template
+// batch by batch, with no intermediate materialized relation.
+#ifndef ULOAD_ENGINE_ENGINE_H_
+#define ULOAD_ENGINE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "rewrite/query_rewriter.h"
+#include "storage/storage_models.h"
+
+namespace uload {
+
+class Engine {
+ public:
+  struct Options {
+    // Fill target of every TupleBatch on the serving path.
+    size_t batch_size = TupleBatch::kDefaultCapacity;
+    // Worker threads the physical compiler may spend on Exchange operators;
+    // 1 keeps execution strictly serial (and bit-deterministic).
+    size_t thread_budget = 1;
+    RewriteOptions rewrite;
+  };
+
+  explicit Engine(Document doc);
+  Engine(Document doc, Options options);
+
+  // Replaces the installed storage model: materializes every XAM of `model`
+  // over the document into a fresh catalog.
+  Status InstallModel(std::vector<NamedXam> model);
+  // Adds one more view to the installed model.
+  Status AddView(std::string name, Xam definition);
+
+  // Rewrites `query` over the installed views and streams the combined plan
+  // through the physical executor into serialized XML.
+  Result<std::string> Run(const std::string& query);
+
+  struct Explanation {
+    std::string logical;   // combined logical plan rendering
+    std::string physical;  // physical tree; ExplainAnalyze annotates it
+                           // with the runtime counters
+    std::string result;    // serialized XML (ExplainAnalyze only)
+  };
+  // Compiles without executing.
+  Result<Explanation> Explain(const std::string& query);
+  // Executes, then renders the physical tree with per-operator counters.
+  Result<Explanation> ExplainAnalyze(const std::string& query);
+
+  const Document& document() const { return doc_; }
+  const PathSummary& summary() const { return summary_; }
+  const Catalog& catalog() const { return catalog_; }
+  // Runtime counters of the most recent Run/ExplainAnalyze.
+  const ExecContext& exec_context() const { return exec_; }
+
+ private:
+  Result<QueryRewriteResult> RewriteQuery(const std::string& query) const;
+
+  Document doc_;
+  PathSummary summary_;
+  Catalog catalog_;
+  Options options_;
+  ExecContext exec_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_ENGINE_ENGINE_H_

@@ -4,6 +4,8 @@
 #include <map>
 #include <numeric>
 
+#include "exec/order_descriptor.h"
+#include "exec/plan_schemas.h"
 #include "exec/structural_join.h"
 
 namespace uload {
@@ -45,6 +47,12 @@ class Impl {
         return EvalNavigate(plan);
       case PlanOp::kPrefixNames:
         return EvalPrefixNames(plan);
+      case PlanOp::kRetype:
+        return EvalRetype(plan);
+      case PlanOp::kSortOp:
+        return EvalSortOp(plan);
+      case PlanOp::kUnit:
+        return EvalUnit();
     }
     return Status::Internal("unhandled plan operator");
   }
@@ -589,6 +597,29 @@ class Impl {
     ULOAD_ASSIGN_OR_RETURN(NestedRelation in, Eval(*plan.left()));
     NestedRelation out(PrefixSchema(in.schema(), plan.nest_as()), in.kind());
     out.mutable_tuples() = in.tuples();
+    return out;
+  }
+
+  Result<NestedRelation> EvalRetype(const LogicalPlan& plan) {
+    ULOAD_ASSIGN_OR_RETURN(NestedRelation in, Eval(*plan.left()));
+    ULOAD_RETURN_NOT_OK(
+        CheckSameShape(in.schema(), *plan.retype_schema()));
+    NestedRelation out(plan.retype_schema(), in.kind());
+    out.mutable_tuples() = std::move(in.mutable_tuples());
+    return out;
+  }
+
+  Result<NestedRelation> EvalSortOp(const LogicalPlan& plan) {
+    ULOAD_ASSIGN_OR_RETURN(NestedRelation in, Eval(*plan.left()));
+    std::vector<OrderKey> keys;
+    for (const std::string& a : plan.attrs()) keys.push_back({a, true});
+    ULOAD_RETURN_NOT_OK(SortBy(OrderDescriptor(std::move(keys)), &in));
+    return in;
+  }
+
+  Result<NestedRelation> EvalUnit() {
+    NestedRelation out(Schema::Make({}));
+    out.Add(Tuple{});
     return out;
   }
 

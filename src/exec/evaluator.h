@@ -19,16 +19,36 @@
 
 namespace uload {
 
+// Result of a streaming index binding: the view's backing relation plus the
+// row indices matching the bindings, in the relation's storage (document)
+// order. The physical engine streams batches straight out of `data` by row
+// index — no result relation is materialized.
+struct IndexBinding {
+  const NestedRelation* data = nullptr;
+  std::vector<int64_t> rows;
+};
+
 struct EvalContext {
   // Named base relations (materialized views / storage structures).
   std::unordered_map<std::string, const NestedRelation*> relations;
 
   // Lookup hook for kIndexScan over R-marked XAM stores. Receives the
-  // relation name and the equality bindings.
+  // relation name and the equality bindings, and returns a materialized
+  // result — the evaluator's (oracle) access path.
   std::function<Result<NestedRelation>(
       const std::string&,
       const std::vector<std::pair<std::string, AtomicValue>>&)>
       index_lookup;
+
+  // Streaming counterpart used by the physical engine: same name+bindings,
+  // but hands back the stored relation and the matching row ids so the scan
+  // operator can batch-stream them directly (storage/catalog.h wires this to
+  // MaterializedView::LookupRows). Optional; when unset the physical
+  // compiler falls back to materializing through `index_lookup`.
+  std::function<Result<IndexBinding>(
+      const std::string&,
+      const std::vector<std::pair<std::string, AtomicValue>>&)>
+      index_bind;
 
   // Document backing kNavigate (and Sid resolution).
   const Document* document = nullptr;

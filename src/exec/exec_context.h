@@ -85,6 +85,12 @@ class ExecContext {
   // Zeroes all registered counters (e.g. between benchmark iterations).
   void ResetMetrics();
 
+  // Drops every registered counter slot. Slots hand out stable pointers, so
+  // this is only legal when no operator tree is still bound to the context;
+  // a long-lived engine calls it before each fresh compile to keep the slot
+  // table from growing without bound across queries.
+  void ClearMetrics() { metrics_.clear(); }
+
   const std::deque<OperatorMetrics>& metrics() const { return metrics_; }
 
   int64_t total_tuples() const;

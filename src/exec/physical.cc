@@ -186,6 +186,61 @@ class MaterialPhys : public PhysBase {
   int64_t pos_ = 0;
 };
 
+// --- IndexScan_φ -------------------------------------------------------------
+
+// Batch-streaming scan of an R-marked view restricted to the rows matched by
+// the lookup bindings. The catalog hands out the view's stored relation plus
+// the row ids (storage order); nothing is materialized per query.
+class IndexScanPhys : public PhysBase {
+ public:
+  IndexScanPhys(const NestedRelation* data, std::vector<int64_t> rows,
+                std::string name)
+      : data_(data), rows_(std::move(rows)), name_(std::move(name)) {
+    schema_ = data_->schema_ptr();
+  }
+  std::string label() const override {
+    return "IndexScan_phi(" + name_ + ")";
+  }
+  // The selected rows are a subsequence of the stored relation; sortedness
+  // is checked over exactly those rows (same per-key contract as
+  // IsSortedBy: every key independently non-decreasing).
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    for (const OrderKey& k : order.keys()) {
+      int idx = data_->schema().IndexOf(k.attr);
+      if (idx < 0 || data_->schema().attr(idx).is_collection) return false;
+      for (size_t i = 1; i < rows_.size(); ++i) {
+        const AtomicValue& prev =
+            data_->tuple(rows_[i - 1]).fields[idx].atom();
+        const AtomicValue& cur = data_->tuple(rows_[i]).fields[idx].atom();
+        int c = AtomicValue::Compare(prev, cur);
+        if (k.ascending ? c > 0 : c < 0) return false;
+      }
+    }
+    order_ = order;
+    return true;
+  }
+
+ protected:
+  Status OpenImpl() override {
+    pos_ = 0;
+    return Status::Ok();
+  }
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    if (pos_ >= rows_.size()) return std::optional<TupleBatch>();
+    TupleBatch out = NewBatch();
+    while (pos_ < rows_.size() && !out.full()) {
+      out.Add(data_->tuple(rows_[pos_++]));
+    }
+    return std::optional<TupleBatch>(std::move(out));
+  }
+
+ private:
+  const NestedRelation* data_;
+  std::vector<int64_t> rows_;
+  std::string name_;
+  size_t pos_ = 0;
+};
+
 // --- σ_φ ---------------------------------------------------------------------
 
 class SelectPhys : public PhysBase {
@@ -240,10 +295,16 @@ class ProjectPhys : public PhysBase {
                                   std::vector<std::string> attrs,
                                   bool dedup) {
     auto p = std::unique_ptr<ProjectPhys>(new ProjectPhys());
-    ULOAD_ASSIGN_OR_RETURN(p->schema_,
-                           ProjectionSchema(*input->schema(), attrs));
+    ULOAD_ASSIGN_OR_RETURN(p->proj_,
+                           TupleProjector::Make(*input->schema(), attrs));
+    p->schema_ = p->proj_->schema();
+    std::vector<OrderKey> kept;
+    for (const OrderKey& k : input->order().keys()) {
+      if (!ResolveAttrPath(*p->schema_, k.attr).ok()) break;
+      kept.push_back(k);
+    }
+    p->order_ = OrderDescriptor(std::move(kept));
     p->input_ = std::move(input);
-    p->attrs_ = std::move(attrs);
     p->dedup_ = dedup;
     return PhysicalPtr(std::move(p));
   }
@@ -252,6 +313,16 @@ class ProjectPhys : public PhysBase {
   }
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
+  }
+  // A projection preserves tuple order; the input's order survives for the
+  // longest key prefix whose attributes are all retained (names unchanged).
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    for (const OrderKey& k : order.keys()) {
+      if (!ResolveAttrPath(*schema_, k.attr).ok()) return false;
+    }
+    if (!input_->TryAdoptOrder(order)) return false;
+    order_ = order;
+    return true;
   }
 
  protected:
@@ -265,9 +336,10 @@ class ProjectPhys : public PhysBase {
                              input_->NextBatch());
       if (!in.has_value()) return std::optional<TupleBatch>();
       TupleBatch out = NewBatch();
-      for (const Tuple& t : in->tuples()) {
-        ULOAD_ASSIGN_OR_RETURN(Tuple projected,
-                               ProjectTupleTo(*input_->schema(), attrs_, t));
+      for (Tuple& t : in->tuples()) {
+        // The input batch is exclusively ours, so steal the kept fields
+        // instead of deep-copying them.
+        Tuple projected = proj_->Apply(std::move(t));
         if (dedup_) {
           std::string key = TupleToString(projected);
           if (!seen_.insert(std::move(key)).second) continue;
@@ -282,7 +354,7 @@ class ProjectPhys : public PhysBase {
  private:
   ProjectPhys() = default;
   PhysicalPtr input_;
-  std::vector<std::string> attrs_;
+  std::optional<TupleProjector> proj_;
   bool dedup_ = false;
   std::set<std::string> seen_;
 };
@@ -431,6 +503,206 @@ class StackTreeDescPhys : public PhysBase {
   std::optional<Tuple> next_anc_;
 };
 
+// --- Streaming StackTreeAnc_φ (semi / outer / nest structural joins) ---------
+
+// The ancestor-grouped counterpart of StackTreeDescPhys: both inputs in
+// document order on the join attributes, output follows the *ancestor* side.
+// Each in-flight ancestor accumulates its matching descendants; it is
+// complete once the descendant cursor has passed its subtree. Ancestors
+// nest, so an inner one completes before the outer one it lives in — the
+// in-flight queue releases completed entries strictly front-first to keep
+// the output in ancestor document order. Tuples with a null join id match
+// nothing (outer/nest variants still emit them, padded/empty).
+class StackTreeVariantPhys : public PhysBase {
+ public:
+  StackTreeVariantPhys(PhysicalPtr anc, PhysicalPtr desc, int anc_idx,
+                       int desc_idx, Axis axis, JoinVariant variant,
+                       const std::string& nest_as)
+      : anc_(std::move(anc)),
+        desc_(std::move(desc)),
+        anc_idx_(anc_idx),
+        desc_idx_(desc_idx),
+        axis_(axis),
+        variant_(variant) {
+    schema_ = JoinOutputSchema(*anc_->schema(), *desc_->schema(), variant,
+                               nest_as);
+    order_ = OrderDescriptor::On(anc_->schema()->attr(anc_idx).name);
+  }
+  std::string label() const override {
+    return std::string("StackTreeAnc_phi:") + JoinVariantName(variant_) +
+           "[" + anc_->schema()->attr(anc_idx_).name + " " +
+           (axis_ == Axis::kChild ? "parent-of" : "ancestor-of") + " " +
+           desc_->schema()->attr(desc_idx_).name + "]";
+  }
+  std::vector<PhysicalOperator*> children() const override {
+    return {anc_.get(), desc_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
+    ULOAD_RETURN_NOT_OK(anc_->Open());
+    ULOAD_RETURN_NOT_OK(desc_->Open());
+    inflight_.clear();
+    stack_.clear();
+    pending_.clear();
+    desc_done_ = false;
+    ULOAD_ASSIGN_OR_RETURN(next_anc_, anc_->NextTuple());
+    return Status::Ok();
+  }
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    TupleBatch out = NewBatch();
+    while (!out.full()) {
+      if (!pending_.empty()) {
+        out.Add(std::move(pending_.front()));
+        pending_.pop_front();
+        continue;
+      }
+      if (desc_done_ && inflight_.empty() && !next_anc_.has_value()) break;
+      ULOAD_RETURN_NOT_OK(Advance());
+    }
+    if (out.empty()) return std::optional<TupleBatch>();
+    return std::optional<TupleBatch>(std::move(out));
+  }
+  void CloseImpl() override {
+    anc_->Close();
+    desc_->Close();
+  }
+
+ private:
+  struct AncState {
+    Tuple t;
+    TupleList matches;
+    bool done = false;
+  };
+
+  // Consumes one descendant (or the end of the descendant stream), then
+  // releases every completed front-of-queue ancestor into pending_.
+  Status Advance() {
+    ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> d, desc_->NextTuple());
+    if (!d.has_value()) {
+      desc_done_ = true;
+      // No future descendant exists: every ancestor still pending is done.
+      while (next_anc_.has_value()) {
+        ULOAD_RETURN_NOT_OK(PushAncestor(std::move(*next_anc_)));
+        ULOAD_ASSIGN_OR_RETURN(next_anc_, anc_->NextTuple());
+      }
+      for (AncState& a : inflight_) a.done = true;
+      stack_.clear();
+      Release();
+      return Status::Ok();
+    }
+    const AtomicValue& did = d->fields[desc_idx_].atom();
+    if (did.is_null()) return Status::Ok();  // null ids match nothing
+    if (did.kind() != AtomicValue::Kind::kSid) {
+      return Status::TypeError(
+          "streaming structural join requires (pre, post, depth) ids");
+    }
+    // Pull ancestors that start before this descendant.
+    while (next_anc_.has_value()) {
+      const AtomicValue& aid = next_anc_->fields[anc_idx_].atom();
+      if (!aid.is_null()) {
+        if (aid.kind() != AtomicValue::Kind::kSid) {
+          return Status::TypeError(
+              "streaming structural join requires (pre, post, depth) ids");
+        }
+        if (aid.sid().pre >= did.sid().pre) break;
+      }
+      ULOAD_RETURN_NOT_OK(PushAncestor(std::move(*next_anc_)));
+      ULOAD_ASSIGN_OR_RETURN(next_anc_, anc_->NextTuple());
+    }
+    // Ancestors whose subtree ended before this descendant are complete —
+    // no current or future descendant (pre-ascending) can fall inside them.
+    while (!stack_.empty() &&
+           stack_.back()->t.fields[anc_idx_].atom().sid().post <
+               did.sid().post) {
+      stack_.back()->done = true;
+      stack_.pop_back();
+    }
+    for (AncState* a : stack_) {
+      const StructuralId& asid = a->t.fields[anc_idx_].atom().sid();
+      bool match = axis_ == Axis::kChild ? IsParent(asid, did.sid())
+                                         : IsAncestor(asid, did.sid());
+      if (match) a->matches.push_back(*d);
+    }
+    Release();
+    return Status::Ok();
+  }
+
+  Status PushAncestor(Tuple t) {
+    const AtomicValue& aid = t.fields[anc_idx_].atom();
+    if (aid.is_null()) {
+      // Null ids match nothing and need no stack entry; completed at once.
+      inflight_.push_back(AncState{std::move(t), {}, true});
+      return Status::Ok();
+    }
+    if (aid.kind() != AtomicValue::Kind::kSid) {
+      return Status::TypeError(
+          "streaming structural join requires (pre, post, depth) ids");
+    }
+    // Entries the new ancestor is disjoint from are complete: their whole
+    // subtree precedes it, hence precedes every future descendant too.
+    while (!stack_.empty() &&
+           stack_.back()->t.fields[anc_idx_].atom().sid().post <
+               aid.sid().post) {
+      stack_.back()->done = true;
+      stack_.pop_back();
+    }
+    inflight_.push_back(AncState{std::move(t), {}, false});
+    stack_.push_back(&inflight_.back());
+    return Status::Ok();
+  }
+
+  void Release() {
+    while (!inflight_.empty() && inflight_.front().done) {
+      AncState& a = inflight_.front();
+      switch (variant_) {
+        case JoinVariant::kInner:
+          for (Tuple& m : a.matches) {
+            pending_.push_back(ConcatTuples(a.t, m));
+          }
+          break;
+        case JoinVariant::kSemi:
+          if (!a.matches.empty()) pending_.push_back(std::move(a.t));
+          break;
+        case JoinVariant::kLeftOuter:
+          if (a.matches.empty()) {
+            pending_.push_back(
+                ConcatTuples(a.t, NullTuple(*desc_->schema())));
+          } else {
+            for (Tuple& m : a.matches) {
+              pending_.push_back(ConcatTuples(a.t, m));
+            }
+          }
+          break;
+        case JoinVariant::kNestJoin:
+          if (a.matches.empty()) break;
+          [[fallthrough]];
+        case JoinVariant::kNestOuter: {
+          Tuple t = std::move(a.t);
+          t.fields.emplace_back(std::move(a.matches));
+          pending_.push_back(std::move(t));
+          break;
+        }
+      }
+      inflight_.pop_front();
+    }
+  }
+
+  PhysicalPtr anc_;
+  PhysicalPtr desc_;
+  int anc_idx_;
+  int desc_idx_;
+  Axis axis_;
+  JoinVariant variant_;
+  // In-flight ancestors in arrival (document) order; a deque keeps the
+  // stack_ pointers stable across push_back/pop_front.
+  std::deque<AncState> inflight_;
+  std::vector<AncState*> stack_;
+  std::deque<Tuple> pending_;
+  std::optional<Tuple> next_anc_;
+  bool desc_done_ = false;
+};
+
 // --- Hash join / generic value join -----------------------------------------
 
 class ValueJoinPhys : public PhysBase {
@@ -456,6 +728,17 @@ class ValueJoinPhys : public PhysBase {
   }
   std::vector<PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
+  }
+  // The probe side streams in order and each left tuple's matches are
+  // emitted consecutively, so the left input's order survives for keys over
+  // left attributes.
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    for (const OrderKey& k : order.keys()) {
+      if (!ResolveAttrPath(*left_->schema(), k.attr).ok()) return false;
+    }
+    if (!left_->TryAdoptOrder(order)) return false;
+    order_ = order;
+    return true;
   }
 
  protected:
@@ -686,6 +969,17 @@ class NavigatePhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
   }
+  // Navigation expands each input tuple into zero or more consecutive
+  // output tuples, so the input's order survives (non-strictly) for keys
+  // that refer to carried-over input attributes.
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    for (const OrderKey& k : order.keys()) {
+      if (!ResolveAttrPath(*input_->schema(), k.attr).ok()) return false;
+    }
+    if (!input_->TryAdoptOrder(order)) return false;
+    order_ = order;
+    return true;
+  }
 
  protected:
   Status OpenImpl() override {
@@ -831,13 +1125,35 @@ class NavigatePhys : public PhysBase {
 class RenamePhys : public PhysBase {
  public:
   RenamePhys(PhysicalPtr input, const std::string& prefix)
-      : input_(std::move(input)) {
+      : input_(std::move(input)), prefix_(prefix) {
     schema_ = PrefixedSchema(*input_->schema(), prefix);
-    order_ = OrderDescriptor();
+    // A rename keeps tuple order; top-level order keys survive under their
+    // prefixed names.
+    std::vector<OrderKey> kept;
+    for (const OrderKey& k : input_->order().keys()) {
+      if (k.attr.find('.') != std::string::npos) break;
+      kept.push_back(OrderKey{prefix_ + k.attr, k.ascending});
+    }
+    order_ = OrderDescriptor(std::move(kept));
   }
   std::string label() const override { return "Rename_phi"; }
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
+  }
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    // Strip the prefix off every key and ask the input.
+    std::vector<OrderKey> translated;
+    for (const OrderKey& k : order.keys()) {
+      if (k.attr.find('.') != std::string::npos) return false;
+      if (k.attr.compare(0, prefix_.size(), prefix_) != 0) return false;
+      translated.push_back(
+          OrderKey{k.attr.substr(prefix_.size()), k.ascending});
+    }
+    if (!input_->TryAdoptOrder(OrderDescriptor(std::move(translated)))) {
+      return false;
+    }
+    order_ = order;
+    return true;
   }
 
  protected:
@@ -851,7 +1167,78 @@ class RenamePhys : public PhysBase {
 
  private:
   PhysicalPtr input_;
+  std::string prefix_;
 };
+
+// --- Retype (metadata-only) --------------------------------------------------
+
+// Re-tags the stream with a structurally identical schema (the rewriter's
+// view-schema stamp). Order descriptors name attributes, so the input's
+// advertised order carries over with its key names translated positionally
+// old-schema → new-schema; adoption requests translate the other way.
+class RetypePhys : public PhysBase {
+ public:
+  static Result<PhysicalPtr> Make(PhysicalPtr input, SchemaPtr schema) {
+    ULOAD_RETURN_NOT_OK(CheckSameShape(*input->schema(), *schema));
+    auto p = std::unique_ptr<RetypePhys>(new RetypePhys());
+    std::vector<OrderKey> kept;
+    for (const OrderKey& k : input->order().keys()) {
+      int idx = input->schema()->IndexOf(k.attr);
+      if (idx < 0 || schema->attr(idx).is_collection) break;
+      kept.push_back(OrderKey{schema->attr(idx).name, k.ascending});
+    }
+    p->order_ = OrderDescriptor(std::move(kept));
+    p->schema_ = std::move(schema);
+    p->input_ = std::move(input);
+    return PhysicalPtr(std::move(p));
+  }
+  std::string label() const override { return "Retype_phi"; }
+  std::vector<PhysicalOperator*> children() const override {
+    return {input_.get()};
+  }
+  bool TryAdoptOrder(const OrderDescriptor& order) override {
+    std::vector<OrderKey> translated;
+    for (const OrderKey& k : order.keys()) {
+      int idx = schema_->IndexOf(k.attr);
+      if (idx < 0 || schema_->attr(idx).is_collection) return false;
+      translated.push_back(
+          OrderKey{input_->schema()->attr(idx).name, k.ascending});
+    }
+    if (!input_->TryAdoptOrder(OrderDescriptor(std::move(translated)))) {
+      return false;
+    }
+    order_ = order;
+    return true;
+  }
+
+ protected:
+  Status OpenImpl() override { return input_->Open(); }
+  Result<std::optional<TupleBatch>> NextBatchImpl() override {
+    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, input_->NextBatch());
+    if (b.has_value()) b->set_schema(schema_);
+    return b;
+  }
+  void CloseImpl() override { input_->Close(); }
+
+ private:
+  RetypePhys() = default;
+  PhysicalPtr input_;
+};
+
+// True when `required`'s keys are a prefix of `actual`'s — the stream is
+// then sorted per `required` by construction (SortBy is a stable
+// lexicographic sort over its key list).
+bool OrderCovers(const OrderDescriptor& actual,
+                 const OrderDescriptor& required) {
+  if (required.keys().size() > actual.keys().size()) return false;
+  for (size_t i = 0; i < required.keys().size(); ++i) {
+    if (actual.keys()[i].attr != required.keys()[i].attr ||
+        actual.keys()[i].ascending != required.keys()[i].ascending) {
+      return false;
+    }
+  }
+  return true;
+}
 
 // --- Compiler ----------------------------------------------------------------
 
@@ -1009,6 +1396,15 @@ class Compiler {
             std::make_unique<ScanPhys>(it->second, p.relation()));
       }
       case PlanOp::kIndexScan: {
+        // Preferred: the storage layer's streaming binding (view data +
+        // matching row ids, no per-query materialization). The materializing
+        // lookup hook stays as the fallback for hand-built contexts.
+        if (ctx_.index_bind) {
+          ULOAD_ASSIGN_OR_RETURN(IndexBinding b,
+                                 ctx_.index_bind(p.relation(), p.bindings()));
+          return PhysicalPtr(std::make_unique<IndexScanPhys>(
+              b.data, std::move(b.rows), p.relation()));
+        }
         if (!ctx_.index_lookup) {
           return Status::InvalidArgument("no index lookup hook");
         }
@@ -1041,23 +1437,33 @@ class Compiler {
             p.right_attr(), p.variant(), p.nest_as()));
       }
       case PlanOp::kStructuralJoin: {
-        // Streaming StackTreeDesc for inner joins on top-level attrs;
-        // everything else falls back to the materializing evaluator.
+        // Streaming StackTree for structural joins on top-level attrs:
+        // StackTreeDesc (descendant-ordered output, Exchange-parallelizable)
+        // for inner joins, the ancestor-grouped StackTreeAnc for the
+        // semi/outer/nest variants. Nested join attributes fall back to the
+        // materializing evaluator.
         auto lres = ResolveAttrPath(*SchemaOf(p.left()), p.left_attr());
         auto rres = ResolveAttrPath(*SchemaOf(p.right()), p.right_attr());
-        if (p.variant() == JoinVariant::kInner && lres.ok() && rres.ok() &&
-            lres->size() == 1 && rres->size() == 1) {
-          ULOAD_ASSIGN_OR_RETURN(
-              PhysicalPtr par,
-              TryParallelStructuralJoin(p, (*lres)[0], (*rres)[0]));
-          if (par) return PhysicalPtr(std::move(par));
+        if (lres.ok() && rres.ok() && lres->size() == 1 &&
+            rres->size() == 1) {
+          if (p.variant() == JoinVariant::kInner) {
+            ULOAD_ASSIGN_OR_RETURN(
+                PhysicalPtr par,
+                TryParallelStructuralJoin(p, (*lres)[0], (*rres)[0]));
+            if (par) return PhysicalPtr(std::move(par));
+          }
           ULOAD_ASSIGN_OR_RETURN(PhysicalPtr l, Rec(*p.left()));
           ULOAD_ASSIGN_OR_RETURN(PhysicalPtr r, Rec(*p.right()));
           PhysicalPtr anc = EnsureOrder(std::move(l), p.left_attr());
           PhysicalPtr desc = EnsureOrder(std::move(r), p.right_attr());
-          return PhysicalPtr(std::make_unique<StackTreeDescPhys>(
+          if (p.variant() == JoinVariant::kInner) {
+            return PhysicalPtr(std::make_unique<StackTreeDescPhys>(
+                std::move(anc), std::move(desc), (*lres)[0], (*rres)[0],
+                p.axis()));
+          }
+          return PhysicalPtr(std::make_unique<StackTreeVariantPhys>(
               std::move(anc), std::move(desc), (*lres)[0], (*rres)[0],
-              p.axis()));
+              p.axis(), p.variant(), p.nest_as()));
         }
         return Materialize(p, "StackTreeAnc_phi(materialized)");
       }
@@ -1076,6 +1482,33 @@ class Compiler {
         ULOAD_ASSIGN_OR_RETURN(PhysicalPtr in, Rec(*p.left()));
         return PhysicalPtr(
             std::make_unique<RenamePhys>(std::move(in), p.nest_as()));
+      }
+      case PlanOp::kRetype: {
+        ULOAD_ASSIGN_OR_RETURN(PhysicalPtr in, Rec(*p.left()));
+        return RetypePhys::Make(std::move(in), p.retype_schema());
+      }
+      case PlanOp::kSortOp: {
+        // Sort_φ enforcer with elision: skipped when the input's advertised
+        // order already covers the requested keys, or when the input can
+        // prove (TryAdoptOrder) that its data satisfies them.
+        ULOAD_ASSIGN_OR_RETURN(PhysicalPtr in, Rec(*p.left()));
+        std::vector<OrderKey> keys;
+        for (const std::string& a : p.attrs()) {
+          keys.push_back(OrderKey{a, true});
+        }
+        OrderDescriptor required(std::move(keys));
+        if (OrderCovers(in->order(), required) ||
+            in->TryAdoptOrder(required)) {
+          return PhysicalPtr(std::move(in));
+        }
+        return PhysicalPtr(
+            std::make_unique<SortPhys>(std::move(in), std::move(required)));
+      }
+      case PlanOp::kUnit: {
+        NestedRelation unit(Schema::Make({}));
+        unit.Add(Tuple{});
+        return PhysicalPtr(std::make_unique<MaterialPhys>(
+            std::move(unit), "Unit_phi", OrderDescriptor()));
       }
       // Remaining operators materialize through the evaluator.
       case PlanOp::kDifference:

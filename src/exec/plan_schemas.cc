@@ -113,4 +113,89 @@ Result<Tuple> ProjectTupleTo(const Schema& schema,
   return ProjTuple(schema, tree, tuple);
 }
 
+Result<TupleProjector> TupleProjector::Make(
+    const Schema& schema, const std::vector<std::string>& attrs) {
+  ProjTree tree;
+  ULOAD_RETURN_NOT_OK(BuildProjTree(schema, attrs, &tree));
+  TupleProjector p;
+  p.schema_ = ProjSchema(schema, tree);
+  // Flatten the tree, baking in whether each kept collection is descended
+  // into, so Apply never consults the schema.
+  struct Rec {
+    static std::vector<Node> Run(const Schema& s, const ProjTree& t) {
+      std::vector<Node> nodes;
+      for (const auto& [idx, sub] : t.children) {
+        Node n;
+        n.index = idx;
+        const Attribute& a = s.attr(idx);
+        if (!sub.keep_all && a.is_collection) {
+          n.recurse = true;
+          n.kids = Run(*a.nested, sub);
+        }
+        nodes.push_back(std::move(n));
+      }
+      return nodes;
+    }
+  };
+  p.roots_ = Rec::Run(schema, tree);
+  return p;
+}
+
+Tuple TupleProjector::Project(const std::vector<Node>& nodes, const Tuple& t) {
+  Tuple out;
+  out.fields.reserve(nodes.size());
+  for (const Node& n : nodes) {
+    const Field& f = t.fields[n.index];
+    if (!n.recurse || !f.is_collection()) {
+      out.fields.push_back(f);
+    } else {
+      TupleList nested;
+      nested.reserve(f.collection().size());
+      for (const Tuple& s : f.collection()) {
+        nested.push_back(Project(n.kids, s));
+      }
+      out.fields.emplace_back(std::move(nested));
+    }
+  }
+  return out;
+}
+
+Tuple TupleProjector::ProjectMove(const std::vector<Node>& nodes, Tuple& t) {
+  Tuple out;
+  out.fields.reserve(nodes.size());
+  for (const Node& n : nodes) {
+    Field& f = t.fields[n.index];
+    if (!n.recurse || !f.is_collection()) {
+      out.fields.push_back(std::move(f));
+    } else {
+      TupleList nested;
+      nested.reserve(f.collection().size());
+      for (Tuple& s : f.collection()) {
+        nested.push_back(ProjectMove(n.kids, s));
+      }
+      out.fields.emplace_back(std::move(nested));
+    }
+  }
+  return out;
+}
+
+Status CheckSameShape(const Schema& from, const Schema& to) {
+  if (from.size() != to.size()) {
+    return Status::TypeError("schema {" + from.ToString() +
+                             "} does not line up with {" + to.ToString() +
+                             "}");
+  }
+  for (int i = 0; i < from.size(); ++i) {
+    if (from.attr(i).is_collection != to.attr(i).is_collection) {
+      return Status::TypeError("schema shape mismatch at attribute " +
+                               from.attr(i).name);
+    }
+    if (from.attr(i).is_collection) {
+      ULOAD_RETURN_NOT_OK(
+          CheckSameShape(*from.attr(i).nested, *to.attr(i).nested));
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace uload

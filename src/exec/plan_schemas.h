@@ -31,6 +31,35 @@ Result<Tuple> ProjectTupleTo(const Schema& schema,
                              const std::vector<std::string>& attrs,
                              const Tuple& tuple);
 
+// Prebuilt projection: resolves the dotted paths against the schema once so
+// the per-tuple apply does no string work — the batched executor's hot path.
+class TupleProjector {
+ public:
+  static Result<TupleProjector> Make(const Schema& schema,
+                                     const std::vector<std::string>& attrs);
+  const SchemaPtr& schema() const { return schema_; }
+  Tuple Apply(const Tuple& t) const { return Project(roots_, t); }
+  // Steals fields from `t`; each field index appears at most once, so the
+  // moved-from tuple is simply discarded by the caller.
+  Tuple Apply(Tuple&& t) const { return ProjectMove(roots_, t); }
+
+ private:
+  struct Node {
+    int index = 0;
+    bool recurse = false;  // project inside the collection at `index`
+    std::vector<Node> kids;
+  };
+  static Tuple Project(const std::vector<Node>& nodes, const Tuple& t);
+  static Tuple ProjectMove(const std::vector<Node>& nodes, Tuple& t);
+  std::vector<Node> roots_;
+  SchemaPtr schema_;
+};
+
+// TypeError unless `from` and `to` have the same structural shape (attribute
+// count and atomic/collection pattern at every nesting level) — the Retype
+// operator's legality check.
+Status CheckSameShape(const Schema& from, const Schema& to);
+
 }  // namespace uload
 
 #endif  // ULOAD_EXEC_PLAN_SCHEMAS_H_

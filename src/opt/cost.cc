@@ -178,6 +178,21 @@ double EstimatePlanCost(
         }
         return Est{in.cost + in.card * model.navigate_weight, card};
       }
+      case PlanOp::kRetype: {
+        // Metadata-only re-tag: the stream passes through untouched.
+        Est in = rec(*p.left());
+        return Est{in.cost, in.card};
+      }
+      case PlanOp::kSortOp: {
+        // Sort_φ enforcer; the physical compiler elides it over streams
+        // that already carry the order, so charge the n log n only as a
+        // pessimistic bound.
+        Est in = rec(*p.left());
+        double n = std::max(in.card, 1.0);
+        return Est{in.cost + n * std::log2(n + 1.0), in.card};
+      }
+      case PlanOp::kUnit:
+        return Est{0, 1};
     }
     return Est{};
     }();

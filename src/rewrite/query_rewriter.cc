@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "exec/physical.h"
 #include "xquery/parser.h"
 
 namespace uload {
@@ -66,8 +67,58 @@ Result<QueryRewriteResult> QueryRewriter::Rewrite(
   return out;
 }
 
+Result<PlanPtr> QueryRewriter::BuildPlan(const QueryRewriteResult& r) const {
+  PlanPtr cur;
+  for (size_t i = 0; i < r.pattern_rewritings.size(); ++i) {
+    SchemaPtr view_schema = r.translation.patterns[i].ViewSchema();
+    // The query's for-loops follow document order; rewritten plans may
+    // deliver view order. Sort_φ over every top-level atomic attribute in
+    // schema order (leading attribute is the outermost id) restores it —
+    // unless the physical stream can already prove the order, in which case
+    // the compiler drops the enforcer.
+    std::vector<std::string> keys;
+    for (int a = 0; a < view_schema->size(); ++a) {
+      if (!view_schema->attr(a).is_collection) {
+        keys.push_back(view_schema->attr(a).name);
+      }
+    }
+    PlanPtr pattern = LogicalPlan::SortOp(
+        LogicalPlan::Retype(r.pattern_rewritings[i].plan, view_schema),
+        std::move(keys));
+    cur = cur == nullptr
+              ? std::move(pattern)
+              : LogicalPlan::Product(std::move(cur), std::move(pattern));
+  }
+  if (cur == nullptr) cur = LogicalPlan::Unit();
+  for (const PredicatePtr& pred : r.translation.cross_predicates) {
+    cur = LogicalPlan::Select(std::move(cur), pred);
+  }
+  return cur;
+}
+
 Result<std::string> QueryRewriter::Execute(const QueryRewriteResult& r,
-                                           const Document* doc) const {
+                                           const Document* doc,
+                                           ExecContext* exec) const {
+  ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, BuildPlan(r));
+  EvalContext ctx = catalog_->MakeEvalContext(doc);
+  ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
+                         CompilePhysicalPlan(plan, ctx, exec));
+  ULOAD_RETURN_NOT_OK(root->Open());
+  std::string out;
+  for (;;) {
+    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, root->NextBatch());
+    if (!b.has_value()) break;
+    for (const Tuple& t : b->tuples()) {
+      ULOAD_RETURN_NOT_OK(ApplyTemplateToTuple(r.translation.templ,
+                                               *root->schema(), t, &out));
+    }
+  }
+  root->Close();
+  return out;
+}
+
+Result<std::string> QueryRewriter::ExecuteMaterialized(
+    const QueryRewriteResult& r, const Document* doc) const {
   EvalContext ctx = catalog_->MakeEvalContext(doc);
   // Materialize every pattern through its rewritten plan, retyped to the
   // query pattern's schema so the template and cross predicates resolve.

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "rewrite/rewriter.h"
 #include "storage/catalog.h"
 #include "xquery/translate.h"
@@ -34,10 +35,27 @@ class QueryRewriter {
   Result<QueryRewriteResult> Rewrite(const Expr& query,
                                      const RewriteOptions& opts = {}) const;
 
+  // Assembles the whole query into ONE logical plan: every pattern's
+  // rewritten plan retyped to the pattern's view schema and ordered by a
+  // Sort_φ enforcer (elidable when the stream can prove document order),
+  // patterns combined by products, cross predicates as selections on top.
+  // Constant queries (no patterns) become the unit relation.
+  Result<PlanPtr> BuildPlan(const QueryRewriteResult& r) const;
+
   // Executes a rewrite result against the catalog's materialized views
-  // (`doc` backs Navigate operators) and returns the serialized XML.
-  Result<std::string> Execute(const QueryRewriteResult& r,
-                              const Document* doc) const;
+  // (`doc` backs Navigate operators) and returns the serialized XML. The
+  // serving path: BuildPlan compiled through the batched physical executor,
+  // tuples streamed straight into the tagging template — no intermediate
+  // materialized relation. `exec`, when given, supplies batch size / thread
+  // budget and collects per-operator runtime metrics.
+  Result<std::string> Execute(const QueryRewriteResult& r, const Document* doc,
+                              ExecContext* exec = nullptr) const;
+
+  // Reference implementation: per-pattern materialization through the
+  // tuple-at-a-time evaluator, explicit sort, pairwise products. Kept as
+  // the differential-testing oracle for Execute.
+  Result<std::string> ExecuteMaterialized(const QueryRewriteResult& r,
+                                          const Document* doc) const;
 
  private:
   const PathSummary* summary_;

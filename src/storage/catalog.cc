@@ -42,6 +42,20 @@ EvalContext Catalog::MakeEvalContext(const Document* doc) const {
     }
     return v->Lookup(bindings);
   };
+  // Streaming binding for the physical engine: the view's stored relation
+  // plus matching row ids, no intermediate materialization.
+  ctx.index_bind =
+      [this](const std::string& name,
+             const std::vector<std::pair<std::string, AtomicValue>>& bindings)
+      -> Result<IndexBinding> {
+    const MaterializedView* v = Find(name);
+    if (v == nullptr) {
+      return Status::NotFound("no view named '" + name + "'");
+    }
+    ULOAD_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
+                           v->LookupRows(bindings));
+    return IndexBinding{&v->data(), std::move(rows)};
+  };
   return ctx;
 }
 

@@ -24,8 +24,10 @@ class Catalog {
     return views_;
   }
 
-  // Evaluation context binding every view's data by name, with an index
-  // lookup hook for R-marked views, and `doc` for Navigate operators.
+  // Evaluation context binding every view's data by name, with both index
+  // access paths for R-marked views (materializing `index_lookup` for the
+  // evaluator, batch-streaming `index_bind` for the physical engine), and
+  // `doc` for Navigate operators.
   EvalContext MakeEvalContext(const Document* doc) const;
 
   int64_t TotalBytes() const;

@@ -61,9 +61,8 @@ Result<MaterializedView> MaterializedView::Materialize(std::string name,
   return v;
 }
 
-Result<NestedRelation> MaterializedView::Lookup(
+Result<std::vector<int64_t>> MaterializedView::LookupRows(
     const std::vector<std::pair<std::string, AtomicValue>>& bindings) const {
-  NestedRelation out(data_.schema_ptr(), data_.kind());
   // Fast path: bindings cover exactly the indexed attributes.
   if (!index_attrs_.empty() && bindings.size() == index_attrs_.size()) {
     std::vector<AtomicValue> key_vals(index_attrs_.size());
@@ -90,15 +89,15 @@ Result<NestedRelation> MaterializedView::Lookup(
         key += '\x1f';
       }
       auto it = index_.find(key);
-      if (it != index_.end()) {
-        for (int64_t i : it->second) out.Add(data_.tuple(i));
-      }
-      return out;
+      if (it == index_.end()) return std::vector<int64_t>{};
+      return it->second;  // built by an ascending scan: storage order
     }
   }
   // Generic path: scan with equality filtering (nested attributes use
   // existential matching).
-  for (const Tuple& t : data_.tuples()) {
+  std::vector<int64_t> rows;
+  for (int64_t i = 0; i < data_.size(); ++i) {
+    const Tuple& t = data_.tuple(i);
     bool keep = true;
     for (const auto& [attr, val] : bindings) {
       auto path = ResolveAttrPath(data_.schema(), attr);
@@ -117,8 +116,16 @@ Result<NestedRelation> MaterializedView::Lookup(
         break;
       }
     }
-    if (keep) out.Add(t);
+    if (keep) rows.push_back(i);
   }
+  return rows;
+}
+
+Result<NestedRelation> MaterializedView::Lookup(
+    const std::vector<std::pair<std::string, AtomicValue>>& bindings) const {
+  ULOAD_ASSIGN_OR_RETURN(std::vector<int64_t> rows, LookupRows(bindings));
+  NestedRelation out(data_.schema_ptr(), data_.kind());
+  for (int64_t i : rows) out.Add(data_.tuple(i));
   return out;
 }
 

@@ -36,6 +36,12 @@ class MaterializedView {
   Result<NestedRelation> Lookup(
       const std::vector<std::pair<std::string, AtomicValue>>& bindings) const;
 
+  // Streaming access path: the row indices of data() matching `bindings`,
+  // in storage (document) order. Lookup() is exactly data() restricted to
+  // these rows; the physical engine streams them without materializing.
+  Result<std::vector<int64_t>> LookupRows(
+      const std::vector<std::pair<std::string, AtomicValue>>& bindings) const;
+
   // Storage footprint estimate in bytes (benchmark reporting).
   int64_t ApproximateBytes() const;
 

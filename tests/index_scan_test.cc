@@ -1,0 +1,142 @@
+// Access-path parity: a kIndexScan over an R-marked view must be
+// byte-identical to the full-scan-plus-select plan over the same bindings —
+// through both access paths (the streaming index_bind row handout and the
+// materializing index_lookup fallback), for every generated binding.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "exec/physical.h"
+#include "storage/catalog.h"
+#include "storage/storage_models.h"
+#include "summary/path_summary.h"
+#include "xml/document.h"
+
+namespace uload {
+namespace {
+
+constexpr const char* kBib =
+    "<bib>"
+    "<book><title>Data on the Web</title><year>1999</year>"
+    "<author>Abiteboul</author><author>Suciu</author></book>"
+    "<book><title>The Syntactic Web</title><year>2002</year>"
+    "<author>Tim</author></book>"
+    "<book><title>Patterns</title><year>1999</year>"
+    "<author>Arion</author></book>"
+    "<phdthesis><title>XAMs</title><year>2007</year>"
+    "<author>Arion</author></phdthesis>"
+    "</bib>";
+
+class IndexScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = Document::Parse(kBib);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    doc_ = std::move(d).value();
+    summary_ = PathSummary::Build(&doc_);
+    NamedXam idx = ValueIndex("book", {"year"});
+    name_ = idx.name;
+    auto st = catalog_.AddXam(idx.name, std::move(idx.xam), doc_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  // Schema attribute names are builder-generated; discover them by suffix.
+  std::string AttrEndingWith(const Schema& s, const std::string& suffix) {
+    for (int i = 0; i < s.size(); ++i) {
+      const std::string& n = s.attr(i).name;
+      if (n.size() >= suffix.size() &&
+          n.compare(n.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        return n;
+      }
+    }
+    return "";
+  }
+
+  Document doc_;
+  PathSummary summary_;
+  Catalog catalog_;
+  std::string name_;
+};
+
+TEST_F(IndexScanTest, LookupMatchesScanPlusSelectForEveryKey) {
+  const MaterializedView* view = catalog_.Find(name_);
+  ASSERT_NE(view, nullptr);
+  ASSERT_TRUE(view->access_restricted());
+  const std::string key_attr = AttrEndingWith(view->data().schema(), "_Val");
+  ASSERT_FALSE(key_attr.empty());
+  int key_idx = view->data().schema().IndexOf(key_attr);
+  ASSERT_GE(key_idx, 0);
+
+  // Every stored key value, plus one value with no matches.
+  std::set<std::string> keys;
+  for (const Tuple& t : view->data().tuples()) {
+    keys.insert(t.fields[key_idx].atom().as_string());
+  }
+  ASSERT_GE(keys.size(), 2u);
+  keys.insert("1871");
+
+  EvalContext streaming = catalog_.MakeEvalContext(&doc_);
+  EvalContext fallback = streaming;
+  fallback.index_bind = nullptr;  // forces the materializing lookup hook
+
+  for (const std::string& key : keys) {
+    AtomicValue val = AtomicValue::String(key);
+    PlanPtr index_plan = LogicalPlan::IndexScan(name_, {{key_attr, val}});
+    PlanPtr scan_plan = LogicalPlan::Select(
+        LogicalPlan::Scan(name_),
+        Predicate::CompareConst(key_attr, Comparator::kEq, val));
+
+    auto want = ExecutePhysicalPlan(scan_plan, streaming);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    auto direct = view->Lookup({{key_attr, val}});
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+    for (const EvalContext* ctx : {&streaming, &fallback}) {
+      auto got = ExecutePhysicalPlan(index_plan, *ctx);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      // Byte-identical: same tuples, same (storage) order.
+      EXPECT_TRUE(got->Equals(*want)) << "key " << key;
+      EXPECT_EQ(got->ToString(), want->ToString()) << "key " << key;
+      EXPECT_EQ(got->ToString(), direct->ToString()) << "key " << key;
+    }
+  }
+}
+
+TEST_F(IndexScanTest, StreamingPathCompilesToIndexScanOperator) {
+  const MaterializedView* view = catalog_.Find(name_);
+  ASSERT_NE(view, nullptr);
+  const std::string key_attr = AttrEndingWith(view->data().schema(), "_Val");
+  EvalContext ctx = catalog_.MakeEvalContext(&doc_);
+  PlanPtr plan = LogicalPlan::IndexScan(
+      name_, {{key_attr, AtomicValue::String("1999")}});
+  auto root = CompilePhysicalPlan(plan, ctx);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_NE((*root)->Describe().find("IndexScan_phi"), std::string::npos);
+
+  EvalContext fallback = ctx;
+  fallback.index_bind = nullptr;
+  auto mat = CompilePhysicalPlan(plan, fallback);
+  ASSERT_TRUE(mat.ok()) << mat.status().ToString();
+  EXPECT_NE((*mat)->Describe().find("IndexLookup_phi"), std::string::npos);
+}
+
+TEST_F(IndexScanTest, IndexScanAdvertisesStorageOrder) {
+  // The selected rows keep storage (document) order, so the id attribute's
+  // order is adoptable without a Sort_φ enforcer.
+  const MaterializedView* view = catalog_.Find(name_);
+  ASSERT_NE(view, nullptr);
+  const std::string key_attr = AttrEndingWith(view->data().schema(), "_Val");
+  const std::string id_attr = AttrEndingWith(view->data().schema(), "_ID");
+  ASSERT_FALSE(id_attr.empty());
+  EvalContext ctx = catalog_.MakeEvalContext(&doc_);
+  PlanPtr plan = LogicalPlan::IndexScan(
+      name_, {{key_attr, AtomicValue::String("1999")}});
+  auto root = CompilePhysicalPlan(plan, ctx);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_TRUE((*root)->TryAdoptOrder(OrderDescriptor::On(id_attr)));
+  EXPECT_FALSE((*root)->order().empty());
+}
+
+}  // namespace
+}  // namespace uload
