@@ -95,6 +95,29 @@ int Run(double scale, int reps) {
                     micros > 0 ? legacy / micros : 0.0);
       }
     }
+
+    // Verifier overhead: the default configuration with static plan
+    // verification (verify/plan_verifier.h) switched off. Verification
+    // runs once per query compile, so the delta against the starred row
+    // above is the whole cost of verify-before-execute.
+    {
+      ExecContext exec(kDefaultBatch);
+      exec.set_thread_budget(1);
+      exec.set_verify_plans(false);
+      std::string streaming_out;
+      double micros = bench::AvgMicros(reps, [&] {
+        exec.ClearMetrics();
+        auto out = qr.Execute(*r, &doc, &exec);
+        if (out.ok()) streaming_out = std::move(*out);
+      });
+      if (streaming_out != legacy_out) {
+        std::fprintf(stderr, "%s: unverified result diverges from legacy\n",
+                     q.name);
+        return 1;
+      }
+      std::printf("%-16s %-22s %12.1f %9.2fx\n", q.name, "stream no-verify",
+                  micros, micros > 0 ? legacy / micros : 0.0);
+    }
   }
   std::printf("(* = default engine configuration)\n");
 

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification in the normal and sanitizer configurations:
-#   scripts/check.sh          # normal, bench smoke, ASAN/UBSAN, TSAN
+#   scripts/check.sh          # normal, lint, bench smoke, ASAN/UBSAN, TSAN
 #   scripts/check.sh fast     # normal configuration only
+# The lint leg runs clang-tidy (config in .clang-tidy) over src/ against the
+# normal build's compile_commands.json; it is skipped with a notice when
+# clang-tidy is not installed (CI installs it; see .github/workflows/ci.yml).
 # The TSAN configuration runs only the threaded/executor tests (the Exchange
 # worker pool, the physical engine, the parallel differential harness and the
 # engine facade's batch/thread sweep); the rest of the suite is
@@ -21,6 +24,20 @@ echo "== normal configuration =="
 run_config build
 
 if [[ "${1:-}" != "fast" ]]; then
+  echo "== lint (clang-tidy) =="
+  # Any new diagnostic from the strict families in .clang-tidy fails the
+  # build (WarningsAsErrors); readability-braces stays advisory.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p build -quiet "src/.*\.cc$"
+    else
+      find src -name '*.cc' -print0 |
+        xargs -0 -n 1 -P "$(nproc)" clang-tidy -p build --quiet
+    fi
+  else
+    echo "clang-tidy not installed; skipping lint leg"
+  fi
+
   echo "== bench smoke (Release) =="
   # Build every bench target in Release so bench sources can't rot, then run
   # the end-to-end query bench for one iteration over a tiny document — it

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include "exec/physical.h"
+#include "verify/plan_verifier.h"
 
 namespace uload {
 
@@ -10,6 +11,7 @@ Engine::Engine(Document doc, Options options)
     : doc_(std::move(doc)), options_(options), exec_(options.batch_size) {
   summary_ = PathSummary::Build(&doc_);
   exec_.set_thread_budget(options_.thread_budget);
+  exec_.set_verify_plans(options_.verify);
 }
 
 Status Engine::InstallModel(std::vector<NamedXam> model) {
@@ -42,6 +44,11 @@ Result<Engine::Explanation> Engine::Explain(const std::string& query) {
   QueryRewriter qr(&summary_, &catalog_);
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
   EvalContext ctx = catalog_.MakeEvalContext(&doc_);
+  if (exec_.verify_plans()) {
+    ULOAD_ASSIGN_OR_RETURN(SchemaPtr root_schema,
+                           VerifyLogicalPlan(*plan, ctx));
+    ULOAD_RETURN_NOT_OK(VerifyTemplate(r.translation.templ, *root_schema));
+  }
   exec_.ClearMetrics();
   ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
                          CompilePhysicalPlan(plan, ctx, &exec_));
@@ -56,6 +63,11 @@ Result<Engine::Explanation> Engine::ExplainAnalyze(const std::string& query) {
   QueryRewriter qr(&summary_, &catalog_);
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
   EvalContext ctx = catalog_.MakeEvalContext(&doc_);
+  if (exec_.verify_plans()) {
+    ULOAD_ASSIGN_OR_RETURN(SchemaPtr root_schema,
+                           VerifyLogicalPlan(*plan, ctx));
+    ULOAD_RETURN_NOT_OK(VerifyTemplate(r.translation.templ, *root_schema));
+  }
   exec_.ClearMetrics();
   ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
                          CompilePhysicalPlan(plan, ctx, &exec_));

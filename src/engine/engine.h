@@ -27,6 +27,11 @@ class Engine {
     // Worker threads the physical compiler may spend on Exchange operators;
     // 1 keeps execution strictly serial (and bit-deterministic).
     size_t thread_budget = 1;
+    // Statically verify every plan before execution (verify/plan_verifier.h):
+    // logical schema/type checking, template binding checks, and physical
+    // order/placement soundness. A malformed plan surfaces as a Status
+    // instead of undefined behavior mid-execution.
+    bool verify = true;
     RewriteOptions rewrite;
   };
 

@@ -79,7 +79,11 @@ class ParallelScanPhys : public PhysicalOperator {
   const SchemaPtr& schema() const override { return schema_; }
   const OrderDescriptor& order() const override { return order_; }
   std::string label() const override;
+  PhysOpKind kind() const override { return PhysOpKind::kParallelScan; }
   bool TryAdoptOrder(const OrderDescriptor& order) override;
+
+  size_t part() const { return part_; }
+  size_t nparts() const { return nparts_; }
 
  protected:
   Status OpenImpl() override;
@@ -109,6 +113,15 @@ class ExchangeBase : public PhysicalOperator {
   // The template pipeline (worker 0); Describe()/DescribeAnalyze() render it
   // once on behalf of all workers.
   std::vector<PhysicalOperator*> children() const override;
+
+  // The plan verifier must see *every* worker pipeline, not just the
+  // rendering template.
+  std::vector<PhysicalOperator*> VerifyChildren() const override {
+    std::vector<PhysicalOperator*> out;
+    out.reserve(workers_.size());
+    for (const PhysicalPtr& w : workers_) out.push_back(w.get());
+    return out;
+  }
 
   size_t worker_count() const { return workers_.size(); }
 
@@ -149,6 +162,7 @@ class ExchangeProducePhys : public ExchangeBase {
   ~ExchangeProducePhys() override;
 
   std::string label() const override;
+  PhysOpKind kind() const override { return PhysOpKind::kExchangeProduce; }
 
  protected:
   Status OpenImpl() override;
@@ -171,6 +185,16 @@ class ExchangeMergePhys : public ExchangeBase {
   ~ExchangeMergePhys() override;
 
   std::string label() const override;
+  PhysOpKind kind() const override { return PhysOpKind::kExchangeMerge; }
+  // Every worker must deliver its stream ordered on the merge keys, or the
+  // k-way merge silently interleaves wrongly.
+  OrderDescriptor RequiredChildOrder(size_t child) const override {
+    (void)child;
+    return order();
+  }
+  // The merge consumes queue heads by key comparison; nondeterministic
+  // worker streams make the output nondeterministic.
+  bool OrderSensitive() const override { return true; }
 
  protected:
   Status OpenImpl() override;

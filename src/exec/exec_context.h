@@ -26,6 +26,16 @@
 
 namespace uload {
 
+// Compile-time default for the debug-mode batch validator
+// (verify/batch_validator.h). The CMake option ULOAD_VALIDATE_BATCHES turns
+// it on for every non-Release build, so all test configurations run with
+// runtime schema cross-checking; Release serving builds leave it off.
+#ifdef ULOAD_VALIDATE_BATCHES
+inline constexpr bool kValidateBatchesDefault = true;
+#else
+inline constexpr bool kValidateBatchesDefault = false;
+#endif
+
 struct OperatorMetrics {
   std::string label;            // operator rendering at registration time
   int64_t batches_produced = 0;
@@ -79,6 +89,22 @@ class ExecContext {
   bool allow_unordered_root() const { return allow_unordered_root_; }
   void set_allow_unordered_root(bool v) { allow_unordered_root_ = v; }
 
+  // When set (the default), CompilePhysicalPlan statically verifies every
+  // compiled tree — order-descriptor soundness, Sort_φ elision obligations,
+  // exchange placement (verify/plan_verifier.h) — and fails compilation with
+  // a diagnostic Status instead of handing an inconsistent plan to the
+  // executor.
+  bool verify_plans() const { return verify_plans_; }
+  void set_verify_plans(bool v) { verify_plans_ = v; }
+
+  // Debug-mode batch validation (verify/batch_validator.h): every batch an
+  // operator produces is cross-checked against its statically inferred
+  // schema. Defaults to the build's compile-time default (on in non-Release
+  // builds, see kValidateBatchesDefault); operators adopt the value at
+  // Bind().
+  bool validate_batches() const { return validate_batches_; }
+  void set_validate_batches(bool v) { validate_batches_ = v; }
+
   // Registers one operator and returns its stable counter slot.
   OperatorMetrics* Register(std::string label);
 
@@ -103,6 +129,8 @@ class ExecContext {
   size_t batch_size_;
   size_t thread_budget_;
   bool allow_unordered_root_ = false;
+  bool verify_plans_ = true;
+  bool validate_batches_ = kValidateBatchesDefault;
   std::deque<OperatorMetrics> metrics_;
 };
 

@@ -89,6 +89,18 @@ Status SortBy(const OrderDescriptor& order, NestedRelation* rel) {
   return Status::Ok();
 }
 
+bool OrderCovers(const OrderDescriptor& actual,
+                 const OrderDescriptor& required) {
+  if (required.keys().size() > actual.keys().size()) return false;
+  for (size_t i = 0; i < required.keys().size(); ++i) {
+    if (actual.keys()[i].attr != required.keys()[i].attr ||
+        actual.keys()[i].ascending != required.keys()[i].ascending) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Result<bool> IsSortedBy(const OrderDescriptor& order,
                         const NestedRelation& rel) {
   for (const OrderKey& key : order.keys()) {

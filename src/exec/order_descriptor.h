@@ -37,6 +37,12 @@ class OrderDescriptor {
   std::vector<OrderKey> keys_;
 };
 
+// True when `required`'s keys are a prefix of `actual`'s — the stream is
+// then sorted per `required` by construction (SortBy is a stable
+// lexicographic sort over its key list). Used by the compiler to elide
+// Sort_φ enforcers and by the plan verifier to check order soundness.
+bool OrderCovers(const OrderDescriptor& actual, const OrderDescriptor& required);
+
 // Stable-sorts `rel`'s top-level tuples by the descriptor's keys. Keys whose
 // path crosses a collection sort the *nested* collections in place (the
 // ⇃A2.A21⇂ form). Null atoms order first.

@@ -10,6 +10,8 @@
 #include "exec/plan_schemas.h"
 #include "exec/structural_join.h"
 #include "opt/cost.h"
+#include "verify/batch_validator.h"
+#include "verify/plan_verifier.h"
 
 namespace uload {
 
@@ -42,6 +44,13 @@ Result<std::optional<TupleBatch>> PhysicalOperator::NextBatch() {
   if (r.ok() && r->has_value()) {
     metrics_->batches_produced += 1;
     metrics_->tuples_produced += static_cast<int64_t>((*r)->size());
+    if (validate_batches_) {
+      Status s = ValidateBatch(*schema(), **r);
+      if (!s.ok()) {
+        return Status::Internal("batch validation failed in " + label() +
+                                ": " + s.message());
+      }
+    }
   }
   return r;
 }
@@ -84,6 +93,7 @@ std::string PhysicalOperator::DescribeAnalyze(int indent) const {
 
 void PhysicalOperator::Bind(ExecContext* ctx) {
   batch_size_ = ctx->batch_size();
+  validate_batches_ = ctx->validate_batches();
   metrics_ = ctx->Register(label());
   BindChildren(ctx);
 }
@@ -126,6 +136,7 @@ class ScanPhys : public PhysBase {
     schema_ = rel->schema_ptr();
   }
   std::string label() const override { return "Scan_phi(" + name_ + ")"; }
+  PhysOpKind kind() const override { return PhysOpKind::kScan; }
   bool TryAdoptOrder(const OrderDescriptor& order) override {
     Result<bool> sorted = IsSortedBy(order, *rel_);
     if (!sorted.ok() || !*sorted) return false;
@@ -161,6 +172,7 @@ class MaterialPhys : public PhysBase {
     order_ = std::move(order);
   }
   std::string label() const override { return label_; }
+  PhysOpKind kind() const override { return PhysOpKind::kMaterial; }
   bool TryAdoptOrder(const OrderDescriptor& order) override {
     Result<bool> sorted = IsSortedBy(order, data_);
     if (!sorted.ok() || !*sorted) return false;
@@ -201,6 +213,7 @@ class IndexScanPhys : public PhysBase {
   std::string label() const override {
     return "IndexScan_phi(" + name_ + ")";
   }
+  PhysOpKind kind() const override { return PhysOpKind::kIndexScan; }
   // The selected rows are a subsequence of the stored relation; sortedness
   // is checked over exactly those rows (same per-key contract as
   // IsSortedBy: every key independently non-decreasing).
@@ -256,6 +269,10 @@ class SelectPhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kSelect; }
+  // A filter passes tuples through unchanged, so its provable order is
+  // exactly its input's.
+  OrderDescriptor ProvableOrder() const override { return input_->order(); }
   // A filter preserves its input's order, so whatever order the input can
   // prove, the selection inherits.
   bool TryAdoptOrder(const OrderDescriptor& order) override {
@@ -314,6 +331,20 @@ class ProjectPhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kProject; }
+  // The input's order survives for the longest key prefix whose attributes
+  // all survive the projection.
+  OrderDescriptor ProvableOrder() const override {
+    std::vector<OrderKey> kept;
+    for (const OrderKey& k : input_->order().keys()) {
+      if (!ResolveAttrPath(*schema_, k.attr).ok()) break;
+      kept.push_back(k);
+    }
+    return OrderDescriptor(std::move(kept));
+  }
+  // Duplicate elimination keeps the first occurrence, so the output depends
+  // on the input arriving in a deterministic order.
+  bool OrderSensitive() const override { return dedup_; }
   // A projection preserves tuple order; the input's order survives for the
   // longest key prefix whose attributes are all retained (names unchanged).
   bool TryAdoptOrder(const OrderDescriptor& order) override {
@@ -374,6 +405,13 @@ class SortPhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kSort; }
+  // The sort *establishes* its advertised order regardless of the input's;
+  // its advertised order is always provable.
+  OrderDescriptor ProvableOrder() const override { return order_; }
+  // Stable sort: tuples tied on the sort keys keep their input order, so a
+  // nondeterministic input makes the output nondeterministic.
+  bool OrderSensitive() const override { return true; }
 
  protected:
   Status OpenImpl() override {
@@ -430,6 +468,21 @@ class StackTreeDescPhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {anc_.get(), desc_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kStructuralJoin; }
+  // The stack merge is only correct over document-ordered inputs.
+  OrderDescriptor RequiredChildOrder(size_t child) const override {
+    return child == 0
+               ? OrderDescriptor::On(anc_->schema()->attr(anc_idx_).name)
+               : OrderDescriptor::On(desc_->schema()->attr(desc_idx_).name);
+  }
+  // Output follows the descendant cursor: ordered on the descendant
+  // attribute exactly when the descendant input is.
+  OrderDescriptor ProvableOrder() const override {
+    OrderDescriptor req =
+        OrderDescriptor::On(desc_->schema()->attr(desc_idx_).name);
+    return OrderCovers(desc_->order(), req) ? order_ : OrderDescriptor();
+  }
+  bool OrderSensitive() const override { return true; }
 
  protected:
   Status OpenImpl() override {
@@ -537,6 +590,22 @@ class StackTreeVariantPhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {anc_.get(), desc_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kStructuralJoin; }
+  // Both cursors must advance in document order for the stack discipline to
+  // see every (ancestor, descendant) containment.
+  OrderDescriptor RequiredChildOrder(size_t child) const override {
+    return child == 0
+               ? OrderDescriptor::On(anc_->schema()->attr(anc_idx_).name)
+               : OrderDescriptor::On(desc_->schema()->attr(desc_idx_).name);
+  }
+  // Output follows the ancestor queue: ordered on the ancestor attribute
+  // exactly when the ancestor input is.
+  OrderDescriptor ProvableOrder() const override {
+    OrderDescriptor req =
+        OrderDescriptor::On(anc_->schema()->attr(anc_idx_).name);
+    return OrderCovers(anc_->order(), req) ? order_ : OrderDescriptor();
+  }
+  bool OrderSensitive() const override { return true; }
 
  protected:
   Status OpenImpl() override {
@@ -729,6 +798,17 @@ class ValueJoinPhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kValueJoin; }
+  // The probe side streams in order, so the left input's order survives for
+  // the longest key prefix over surviving left attributes.
+  OrderDescriptor ProvableOrder() const override {
+    std::vector<OrderKey> kept;
+    for (const OrderKey& k : left_->order().keys()) {
+      if (!ResolveAttrPath(*left_->schema(), k.attr).ok()) break;
+      kept.push_back(k);
+    }
+    return OrderDescriptor(std::move(kept));
+  }
   // The probe side streams in order and each left tuple's matches are
   // emitted consecutively, so the left input's order survives for keys over
   // left attributes.
@@ -864,6 +944,10 @@ class ProductPhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kProduct; }
+  // Each left tuple's combinations are emitted consecutively, so the left
+  // input's order survives.
+  OrderDescriptor ProvableOrder() const override { return left_->order(); }
 
  protected:
   Status OpenImpl() override {
@@ -917,6 +1001,9 @@ class UnionPhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {left_.get(), right_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kUnion; }
+  // Left-then-right concatenation proves no order across the seam.
+  OrderDescriptor ProvableOrder() const override { return OrderDescriptor(); }
 
  protected:
   Status OpenImpl() override {
@@ -968,6 +1055,17 @@ class NavigatePhys : public PhysBase {
   }
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
+  }
+  PhysOpKind kind() const override { return PhysOpKind::kNavigate; }
+  // Each input tuple expands into consecutive outputs, so the input's order
+  // survives for the longest key prefix over carried-over input attributes.
+  OrderDescriptor ProvableOrder() const override {
+    std::vector<OrderKey> kept;
+    for (const OrderKey& k : input_->order().keys()) {
+      if (!ResolveAttrPath(*input_->schema(), k.attr).ok()) break;
+      kept.push_back(k);
+    }
+    return OrderDescriptor(std::move(kept));
   }
   // Navigation expands each input tuple into zero or more consecutive
   // output tuples, so the input's order survives (non-strictly) for keys
@@ -1140,6 +1238,17 @@ class RenamePhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kRename; }
+  // Recompute the constructor's key translation from the input's current
+  // order: top-level keys survive under their prefixed names.
+  OrderDescriptor ProvableOrder() const override {
+    std::vector<OrderKey> kept;
+    for (const OrderKey& k : input_->order().keys()) {
+      if (k.attr.find('.') != std::string::npos) break;
+      kept.push_back(OrderKey{prefix_ + k.attr, k.ascending});
+    }
+    return OrderDescriptor(std::move(kept));
+  }
   bool TryAdoptOrder(const OrderDescriptor& order) override {
     // Strip the prefix off every key and ask the input.
     std::vector<OrderKey> translated;
@@ -1196,6 +1305,18 @@ class RetypePhys : public PhysBase {
   std::vector<PhysicalOperator*> children() const override {
     return {input_.get()};
   }
+  PhysOpKind kind() const override { return PhysOpKind::kRetype; }
+  // Recompute the constructor's positional key translation from the input's
+  // current order: old-schema names map to new-schema names by index.
+  OrderDescriptor ProvableOrder() const override {
+    std::vector<OrderKey> kept;
+    for (const OrderKey& k : input_->order().keys()) {
+      int idx = input_->schema()->IndexOf(k.attr);
+      if (idx < 0 || schema_->attr(idx).is_collection) break;
+      kept.push_back(OrderKey{schema_->attr(idx).name, k.ascending});
+    }
+    return OrderDescriptor(std::move(kept));
+  }
   bool TryAdoptOrder(const OrderDescriptor& order) override {
     std::vector<OrderKey> translated;
     for (const OrderKey& k : order.keys()) {
@@ -1225,21 +1346,6 @@ class RetypePhys : public PhysBase {
   PhysicalPtr input_;
 };
 
-// True when `required`'s keys are a prefix of `actual`'s — the stream is
-// then sorted per `required` by construction (SortBy is a stable
-// lexicographic sort over its key list).
-bool OrderCovers(const OrderDescriptor& actual,
-                 const OrderDescriptor& required) {
-  if (required.keys().size() > actual.keys().size()) return false;
-  for (size_t i = 0; i < required.keys().size(); ++i) {
-    if (actual.keys()[i].attr != required.keys()[i].attr ||
-        actual.keys()[i].ascending != required.keys()[i].ascending) {
-      return false;
-    }
-  }
-  return true;
-}
-
 // --- Compiler ----------------------------------------------------------------
 
 class Compiler {
@@ -1262,17 +1368,28 @@ class Compiler {
     return Rec(*plan);
   }
 
+  // Sort_φ elision sites of the last Compile(): each operator must keep
+  // covering the order the elided enforcer would have established. Entries
+  // point into the compiled tree; consume before it is destroyed.
+  std::vector<std::pair<const PhysicalOperator*, OrderDescriptor>>
+  TakeObligations() {
+    return std::move(obligations_);
+  }
+
  private:
   // Wraps `input` in Sort_φ unless the stream is already ordered on `attr`
   // or the operator can prove (TryAdoptOrder) that it is — scans over
   // document-ordered relations satisfy structural-join requirements without
   // an enforcer, serially and inside Exchange worker pipelines where a
-  // replicated sort would be paid once per worker.
-  static PhysicalPtr EnsureOrder(PhysicalPtr input, const std::string& attr) {
-    if (!input->order().empty() && input->order().keys()[0].attr == attr) {
+  // replicated sort would be paid once per worker. Every elision is recorded
+  // as an obligation the plan verifier re-checks against the finished tree.
+  PhysicalPtr EnsureOrder(PhysicalPtr input, const std::string& attr) {
+    OrderDescriptor required = OrderDescriptor::On(attr);
+    if ((!input->order().empty() && input->order().keys()[0].attr == attr) ||
+        input->TryAdoptOrder(required)) {
+      obligations_.emplace_back(input.get(), std::move(required));
       return input;
     }
-    if (input->TryAdoptOrder(OrderDescriptor::On(attr))) return input;
     return std::make_unique<SortPhys>(std::move(input),
                                       OrderDescriptor::On(attr));
   }
@@ -1499,6 +1616,7 @@ class Compiler {
         OrderDescriptor required(std::move(keys));
         if (OrderCovers(in->order(), required) ||
             in->TryAdoptOrder(required)) {
+          obligations_.emplace_back(in.get(), required);
           return PhysicalPtr(std::move(in));
         }
         return PhysicalPtr(
@@ -1527,9 +1645,13 @@ class Compiler {
 
   // Output schema of a logical subtree, derived by compiling... to stay
   // cheap, we compile the child twice only for structural joins; schema
-  // lookup goes through a temporary compilation of scans.
+  // lookup goes through a temporary compilation of scans. The throwaway
+  // tree is discarded, so obligations recorded while probing must be
+  // dropped with it — they would dangle otherwise.
   SchemaPtr SchemaOf(const PlanPtr& plan) {
+    size_t mark = obligations_.size();
     auto phys = Rec(*plan);
+    obligations_.resize(mark);
     if (!phys.ok()) return Schema::Make({});
     return (*phys)->schema();
   }
@@ -1546,6 +1668,8 @@ class Compiler {
   size_t part_ = 0;
   size_t nparts_ = 1;
   std::vector<PlanPtr> roots_;
+  std::vector<std::pair<const PhysicalOperator*, OrderDescriptor>>
+      obligations_;
 };
 
 }  // namespace
@@ -1556,6 +1680,12 @@ Result<PhysicalPtr> CompilePhysicalPlan(const PlanPtr& plan,
   Compiler compiler(ctx, exec == nullptr ? 1 : exec->thread_budget(),
                     exec != nullptr && exec->allow_unordered_root());
   ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root, compiler.Compile(plan));
+  if (exec != nullptr && exec->verify_plans()) {
+    PhysicalVerifyOptions opts;
+    opts.allow_unordered_root = exec->allow_unordered_root();
+    opts.order_obligations = compiler.TakeObligations();
+    ULOAD_RETURN_NOT_OK(VerifyPhysicalPlan(*root, opts));
+  }
   if (exec != nullptr) root->Bind(exec);
   return root;
 }

@@ -34,6 +34,29 @@
 
 namespace uload {
 
+// Coarse physical-operator class, exposed for the static plan verifier
+// (verify/plan_verifier.h): placement rules key on it, and diagnostics name
+// it. Operators that no rule cares about report kOther.
+enum class PhysOpKind : uint8_t {
+  kOther = 0,
+  kScan,
+  kParallelScan,
+  kIndexScan,
+  kMaterial,
+  kSelect,
+  kProject,
+  kSort,
+  kStructuralJoin,  // StackTreeDesc and the StackTreeAnc variants
+  kValueJoin,
+  kProduct,
+  kUnion,
+  kNavigate,
+  kRename,
+  kRetype,
+  kExchangeMerge,
+  kExchangeProduce,
+};
+
 // Pull-based batch-at-a-time physical operator.
 class PhysicalOperator {
  public:
@@ -97,6 +120,42 @@ class PhysicalOperator {
 
   const OperatorMetrics& metrics() const { return *metrics_; }
 
+  // --- Static-verification surface (verify/plan_verifier.h) ---------------
+
+  // Coarse operator class for placement rules and diagnostics.
+  virtual PhysOpKind kind() const { return PhysOpKind::kOther; }
+
+  // Order the `child`-th input stream (in children() order) must satisfy for
+  // this operator's algorithm to be correct; empty = no requirement. The
+  // StackTree joins require document order on their join attributes, the
+  // ExchangeMerge collector requires every worker ordered on its merge keys.
+  virtual OrderDescriptor RequiredChildOrder(size_t child) const {
+    (void)child;
+    return OrderDescriptor();
+  }
+
+  // The order this operator may soundly advertise, recomputed from its
+  // children's *current* advertised orders by the operator's own propagation
+  // rule. The verifier checks that the advertised order() is covered by this
+  // recomputation — an operator may not claim an order it cannot derive.
+  // Leaves (scans over materialized data) prove their order from the data at
+  // adoption time, so their advertised order is its own witness: the default
+  // returns order() unchanged.
+  virtual OrderDescriptor ProvableOrder() const { return order(); }
+
+  // True when the operator's output *content or determinism* depends on its
+  // input arriving in a specific order (the StackTree merges, the k-way
+  // exchange merge, stable Sort_φ tie-breaks, first-wins dedup projection).
+  // Such operators must never sit above an arrival-order ExchangeProduce.
+  virtual bool OrderSensitive() const { return false; }
+
+  // Input subtrees the verifier must walk. Defaults to children(); the
+  // exchanges override it to expose *all* worker pipelines, not just the
+  // template pipeline that children() renders.
+  virtual std::vector<PhysicalOperator*> VerifyChildren() const {
+    return children();
+  }
+
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<std::optional<TupleBatch>> NextBatchImpl() = 0;
@@ -114,6 +173,10 @@ class PhysicalOperator {
 
  private:
   size_t batch_size_ = TupleBatch::kDefaultCapacity;
+  // Debug-mode batch validation (verify/batch_validator.h): every produced
+  // batch is cross-checked against schema(). Adopted from the ExecContext at
+  // Bind(); unbound operators use the build's compile-time default.
+  bool validate_batches_ = kValidateBatchesDefault;
   OperatorMetrics local_metrics_;
   OperatorMetrics* metrics_ = &local_metrics_;
   // NextTuple() adapter state.

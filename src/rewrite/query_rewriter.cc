@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "exec/physical.h"
+#include "verify/plan_verifier.h"
 #include "xquery/parser.h"
 
 namespace uload {
@@ -101,6 +102,14 @@ Result<std::string> QueryRewriter::Execute(const QueryRewriteResult& r,
                                            ExecContext* exec) const {
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, BuildPlan(r));
   EvalContext ctx = catalog_->MakeEvalContext(doc);
+  // Verify-before-execute: prove the combined plan schema-consistent and the
+  // template's bindings resolvable before a single tuple flows. The compiled
+  // physical tree is re-verified inside CompilePhysicalPlan.
+  if (exec == nullptr || exec->verify_plans()) {
+    ULOAD_ASSIGN_OR_RETURN(SchemaPtr root_schema,
+                           VerifyLogicalPlan(*plan, ctx));
+    ULOAD_RETURN_NOT_OK(VerifyTemplate(r.translation.templ, *root_schema));
+  }
   ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
                          CompilePhysicalPlan(plan, ctx, exec));
   ULOAD_RETURN_NOT_OK(root->Open());

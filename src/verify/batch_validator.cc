@@ -1,0 +1,57 @@
+#include "verify/batch_validator.h"
+
+namespace uload {
+
+namespace {
+
+Status ValidateShapeAt(const Schema& schema, const Tuple& t,
+                       const std::string& at) {
+  if (t.fields.size() != static_cast<size_t>(schema.size())) {
+    return Status::TypeError(
+        "tuple has " + std::to_string(t.fields.size()) + " fields, schema {" +
+        schema.ToString() + "} expects " + std::to_string(schema.size()) +
+        (at.empty() ? "" : " (at " + at + ")"));
+  }
+  for (int i = 0; i < schema.size(); ++i) {
+    const Attribute& a = schema.attr(i);
+    const Field& f = t.fields[static_cast<size_t>(i)];
+    std::string here = at.empty() ? a.name : at + "." + a.name;
+    if (a.is_collection != f.is_collection()) {
+      return Status::TypeError(
+          "attribute '" + here + "' is " +
+          (a.is_collection ? "a collection" : "atomic") +
+          " in the schema but the tuple field holds " +
+          (f.is_collection() ? "a collection" : "an atom"));
+    }
+    if (f.is_collection()) {
+      for (const Tuple& sub : f.collection()) {
+        ULOAD_RETURN_NOT_OK(ValidateShapeAt(*a.nested, sub, here));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateTupleShape(const Schema& schema, const Tuple& t) {
+  return ValidateShapeAt(schema, t, "");
+}
+
+Status ValidateBatch(const Schema& schema, const TupleBatch& batch) {
+  if (&batch.schema() != &schema && !batch.schema().Equals(schema)) {
+    return Status::TypeError("batch schema tag {" + batch.schema().ToString() +
+                             "} does not match the operator schema {" +
+                             schema.ToString() + "}");
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Status s = ValidateTupleShape(schema, batch.tuple(i));
+    if (!s.ok()) {
+      return Status::TypeError("tuple " + std::to_string(i) + ": " +
+                               s.message());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace uload

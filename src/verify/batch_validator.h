@@ -1,0 +1,36 @@
+// Runtime batch-shape validation (debug mode of the plan verifier).
+//
+// The static PlanVerifier (verify/plan_verifier.h) proves that every plan the
+// compiler emits is schema- and order-consistent *before* a single tuple
+// flows. The BatchValidator is its dynamic counterpart: in debug/test builds
+// every TupleBatch an operator produces is cross-checked against the
+// operator's statically inferred schema — field counts, atomic-vs-collection
+// shape at every nesting level, and the batch's schema tag. A mismatch turns
+// silent memory corruption (a field index into the wrong slot) into an
+// immediate Status::Internal with the offending operator and tuple.
+//
+// Enabled per execution through ExecContext::validate_batches(); the
+// compile-time default is ON in non-Release builds (CMake option
+// ULOAD_VALIDATE_BATCHES), so the whole test suite runs validated.
+#ifndef ULOAD_VERIFY_BATCH_VALIDATOR_H_
+#define ULOAD_VERIFY_BATCH_VALIDATOR_H_
+
+#include "algebra/tuple_batch.h"
+#include "common/status.h"
+
+namespace uload {
+
+// TypeError unless `t` structurally matches `schema`: one field per
+// attribute, atomic fields for atomic attributes (null allowed), collection
+// fields for collection attributes, recursively. The message names the
+// mismatched attribute path.
+Status ValidateTupleShape(const Schema& schema, const Tuple& t);
+
+// Validates every tuple of `batch` against `schema`, and the batch's own
+// schema tag against `schema` (pointer fast path, deep Equals otherwise).
+// The message carries the index of the first offending tuple.
+Status ValidateBatch(const Schema& schema, const TupleBatch& batch);
+
+}  // namespace uload
+
+#endif  // ULOAD_VERIFY_BATCH_VALIDATOR_H_

@@ -1,0 +1,500 @@
+#include "verify/plan_verifier.h"
+
+#include <utility>
+
+#include "exec/exchange.h"
+#include "exec/order_descriptor.h"
+#include "exec/plan_schemas.h"
+
+namespace uload {
+
+namespace {
+
+// --- Logical schema inference ------------------------------------------------
+
+const char* OpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kScan: return "Scan";
+    case PlanOp::kIndexScan: return "IndexScan";
+    case PlanOp::kSelect: return "Select";
+    case PlanOp::kProject: return "Project";
+    case PlanOp::kProduct: return "Product";
+    case PlanOp::kValueJoin: return "ValueJoin";
+    case PlanOp::kStructuralJoin: return "StructuralJoin";
+    case PlanOp::kUnion: return "Union";
+    case PlanOp::kDifference: return "Difference";
+    case PlanOp::kNest: return "Nest";
+    case PlanOp::kUnnest: return "Unnest";
+    case PlanOp::kXmlConstruct: return "XmlConstruct";
+    case PlanOp::kDeriveParent: return "DeriveParent";
+    case PlanOp::kNavigate: return "Navigate";
+    case PlanOp::kPrefixNames: return "PrefixNames";
+    case PlanOp::kRetype: return "Retype";
+    case PlanOp::kSortOp: return "Sort";
+    case PlanOp::kUnit: return "Unit";
+  }
+  return "?";
+}
+
+// One diagnostic shape for every unresolved-column report: the operator path
+// from the plan root, the offending column, and the candidate columns of the
+// schema it was resolved against.
+Status Unresolved(const std::string& path, const char* what,
+                  const std::string& attr, const Schema& schema) {
+  return Status::TypeError("plan verification: at " + path + ": " + what +
+                           " '" + attr + "' does not resolve; candidates: {" +
+                           schema.ToString() + "}");
+}
+
+// Checks one dotted column reference. With `require_atomic`, the path's final
+// attribute must be atomic (contexts that read the field with .atom()).
+Status CheckColumn(const Schema& schema, const std::string& attr,
+                   const std::string& path, const char* what,
+                   bool require_atomic) {
+  Result<AttrPath> r = ResolveAttrPath(schema, attr);
+  if (!r.ok()) return Unresolved(path, what, attr, schema);
+  if (require_atomic && AttrAt(schema, *r).is_collection) {
+    return Status::TypeError("plan verification: at " + path + ": " + what +
+                             " '" + attr +
+                             "' names a collection attribute; an atomic "
+                             "value is required");
+  }
+  return Status::Ok();
+}
+
+// Every column a predicate touches must resolve. Collection-valued leaves
+// are legal (existential semantics yield zero atoms), so only resolution is
+// checked.
+Status CheckPredicate(const Predicate& p, const Schema& schema,
+                      const std::string& path) {
+  switch (p.kind()) {
+    case Predicate::Kind::kTrue:
+      return Status::Ok();
+    case Predicate::Kind::kCompareConst:
+    case Predicate::Kind::kIsNull:
+    case Predicate::Kind::kNotNull:
+      return CheckColumn(schema, p.lhs(), path, "predicate column", false);
+    case Predicate::Kind::kCompareAttrs:
+      ULOAD_RETURN_NOT_OK(
+          CheckColumn(schema, p.lhs(), path, "predicate column", false));
+      return CheckColumn(schema, p.rhs_attr(), path, "predicate column",
+                         false);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      ULOAD_RETURN_NOT_OK(CheckPredicate(*p.left(), schema, path));
+      return CheckPredicate(*p.right(), schema, path);
+    case Predicate::Kind::kNot:
+      return CheckPredicate(*p.left(), schema, path);
+  }
+  return Status::Internal("unhandled predicate kind");
+}
+
+// Mirror of the evaluator's NestedJoinSchema: a structural join whose
+// ancestor attribute is nested applies at the joined level, rebuilding the
+// collection schemas above it.
+SchemaPtr NestedJoinOutputSchema(const Schema& schema, const Schema& right,
+                                 const LogicalPlan& plan, const AttrPath& lp,
+                                 size_t depth) {
+  if (depth + 1 == lp.size()) {
+    return JoinOutputSchema(schema, right, plan.variant(), plan.nest_as());
+  }
+  std::vector<Attribute> attrs = schema.attrs();
+  const Attribute& a = schema.attr(lp[depth]);
+  attrs[lp[depth]] = Attribute::Collection(
+      a.name, NestedJoinOutputSchema(*a.nested, right, plan, lp, depth + 1),
+      a.collection_kind);
+  return Schema::Make(std::move(attrs));
+}
+
+// Template walker: `scope` is the schema value references resolve against
+// (switched by iterate nodes), `root` the top-level tuple schema absolute
+// references escape to.
+Status CheckTemplateNode(const TemplateNode& node, const Schema& scope,
+                         const Schema& root, const std::string& path) {
+  switch (node.kind) {
+    case TemplateNode::Kind::kText:
+      return Status::Ok();
+    case TemplateNode::Kind::kValueRef: {
+      const Schema& s = node.absolute ? root : scope;
+      Result<AttrPath> r = ResolveAttrPath(s, node.attr);
+      if (!r.ok()) {
+        return Unresolved(path,
+                          node.absolute ? "absolute template value reference"
+                                        : "template value reference",
+                          node.attr, s);
+      }
+      return Status::Ok();
+    }
+    case TemplateNode::Kind::kElement:
+    case TemplateNode::Kind::kGroup:
+      break;
+  }
+  std::string here =
+      path + "/<" +
+      (node.kind == TemplateNode::Kind::kGroup ? "group" : node.tag) + ">";
+  const Schema* child_scope = &scope;
+  if (!node.iterate.empty()) {
+    Result<AttrPath> r = ResolveAttrPath(scope, node.iterate);
+    if (!r.ok()) {
+      return Unresolved(here, "template iteration binding", node.iterate,
+                        scope);
+    }
+    const Attribute& attr = AttrAt(scope, *r);
+    if (!attr.is_collection) {
+      return Status::TypeError(
+          "plan verification: at " + here + ": template iterates over atomic "
+          "attribute '" + node.iterate + "'");
+    }
+    if (r->size() == 1) child_scope = attr.nested.get();
+    // Nested iteration paths are rejected at instantiation time
+    // (NotImplemented); the scope switch only happens for the supported
+    // top-level form, so deeper checks stay against the right schema.
+  }
+  for (const TemplateNode& c : node.children) {
+    ULOAD_RETURN_NOT_OK(CheckTemplateNode(c, *child_scope, root, here));
+  }
+  return Status::Ok();
+}
+
+class LogicalVerifier {
+ public:
+  explicit LogicalVerifier(const EvalContext& ctx) : ctx_(ctx) {}
+
+  Result<SchemaPtr> Infer(const LogicalPlan& p, const std::string& parent) {
+    std::string path =
+        parent.empty() ? OpName(p.op()) : parent + "/" + OpName(p.op());
+    switch (p.op()) {
+      case PlanOp::kScan: {
+        auto it = ctx_.relations.find(p.relation());
+        if (it == ctx_.relations.end()) {
+          return Status::NotFound("plan verification: at " + path +
+                                  ": relation '" + p.relation() +
+                                  "' not bound in evaluation context");
+        }
+        return it->second->schema_ptr();
+      }
+      case PlanOp::kIndexScan:
+        return InferIndexScan(p, path);
+      case PlanOp::kSelect: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        ULOAD_RETURN_NOT_OK(CheckPredicate(*p.predicate(), *in, path));
+        return in;
+      }
+      case PlanOp::kProject: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        for (const std::string& a : p.attrs()) {
+          if (!ResolveAttrPath(*in, a).ok()) {
+            return Unresolved(path, "projected column", a, *in);
+          }
+        }
+        return ProjectionSchema(*in, p.attrs());
+      }
+      case PlanOp::kProduct: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr l, Infer(*p.left(), path));
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr r, Infer(*p.right(), path));
+        return Schema::Concat(*l, *r);
+      }
+      case PlanOp::kValueJoin:
+      case PlanOp::kStructuralJoin:
+        return InferJoin(p, path);
+      case PlanOp::kUnion: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr l, Infer(*p.left(), path));
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr r, Infer(*p.right(), path));
+        if (l->size() != r->size()) {
+          return Status::TypeError(
+              "plan verification: at " + path + ": union of incompatible "
+              "schemas: {" + l->ToString() + "} vs {" + r->ToString() + "}");
+        }
+        return l;
+      }
+      case PlanOp::kDifference: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr l, Infer(*p.left(), path));
+        ULOAD_RETURN_NOT_OK(Infer(*p.right(), path).status());
+        return l;
+      }
+      case PlanOp::kNest: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        return Schema::Make({Attribute::Collection(
+            p.nest_as().empty() ? "A1" : p.nest_as(), std::move(in))});
+      }
+      case PlanOp::kUnnest:
+        return InferUnnest(p, path);
+      case PlanOp::kXmlConstruct: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        ULOAD_RETURN_NOT_OK(CheckTemplate(p.xml_template(), *in, path));
+        return Schema::Make({Attribute::Atomic("xml")});
+      }
+      case PlanOp::kDeriveParent: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        ULOAD_RETURN_NOT_OK(CheckColumn(*in, p.left_attr(), path,
+                                        "DeriveParent source column", true));
+        std::vector<Attribute> attrs = in->attrs();
+        attrs.push_back(Attribute::Atomic(p.nest_as()));
+        return Schema::Make(std::move(attrs));
+      }
+      case PlanOp::kNavigate: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        ULOAD_RETURN_NOT_OK(CheckColumn(*in, p.left_attr(), path,
+                                        "navigation source column", true));
+        SchemaPtr emit = NavigateEmitSchema(p.nav_emit());
+        return JoinOutputSchema(*in, *emit, p.variant(),
+                                p.nest_as().empty() ? p.nav_emit().prefix
+                                                    : p.nest_as());
+      }
+      case PlanOp::kPrefixNames: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        return PrefixedSchema(*in, p.nest_as());
+      }
+      case PlanOp::kRetype: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        Status shape = CheckSameShape(*in, *p.retype_schema());
+        if (!shape.ok()) {
+          return Status::TypeError("plan verification: at " + path + ": " +
+                                   shape.message());
+        }
+        return p.retype_schema();
+      }
+      case PlanOp::kSortOp: {
+        ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+        for (const std::string& a : p.attrs()) {
+          ULOAD_RETURN_NOT_OK(CheckColumn(*in, a, path, "sort key", true));
+        }
+        return in;
+      }
+      case PlanOp::kUnit:
+        return Schema::Make({});
+    }
+    return Status::Internal("unhandled plan operator");
+  }
+
+  static Status CheckTemplate(const XmlTemplate& templ, const Schema& root,
+                              const std::string& path) {
+    for (const TemplateNode& n : templ.roots) {
+      ULOAD_RETURN_NOT_OK(CheckTemplateNode(n, root, root, path));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Result<SchemaPtr> InferIndexScan(const LogicalPlan& p,
+                                   const std::string& path) {
+    SchemaPtr schema;
+    if (ctx_.index_bind) {
+      ULOAD_ASSIGN_OR_RETURN(IndexBinding b,
+                             ctx_.index_bind(p.relation(), p.bindings()));
+      schema = b.data->schema_ptr();
+    } else if (ctx_.index_lookup) {
+      ULOAD_ASSIGN_OR_RETURN(NestedRelation data,
+                             ctx_.index_lookup(p.relation(), p.bindings()));
+      schema = data.schema_ptr();
+    } else {
+      return Status::InvalidArgument(
+          "plan verification: at " + path +
+          ": plan contains IndexScan but context has no index hook");
+    }
+    for (const auto& [name, value] : p.bindings()) {
+      (void)value;
+      ULOAD_RETURN_NOT_OK(
+          CheckColumn(*schema, name, path, "index binding column", true));
+    }
+    return schema;
+  }
+
+  Result<SchemaPtr> InferJoin(const LogicalPlan& p, const std::string& path) {
+    ULOAD_ASSIGN_OR_RETURN(SchemaPtr l, Infer(*p.left(), path));
+    ULOAD_ASSIGN_OR_RETURN(SchemaPtr r, Infer(*p.right(), path));
+    // Top-level join attributes are read with .atom() on the hash/StackTree
+    // fast paths, so they must be atomic; nested paths go through the
+    // existential atom collector and only need to resolve.
+    Result<AttrPath> lp = ResolveAttrPath(*l, p.left_attr());
+    if (!lp.ok()) return Unresolved(path, "left join column", p.left_attr(), *l);
+    Result<AttrPath> rp = ResolveAttrPath(*r, p.right_attr());
+    if (!rp.ok()) {
+      return Unresolved(path, "right join column", p.right_attr(), *r);
+    }
+    ULOAD_RETURN_NOT_OK(CheckColumn(*l, p.left_attr(), path,
+                                    "left join column", lp->size() == 1));
+    ULOAD_RETURN_NOT_OK(CheckColumn(*r, p.right_attr(), path,
+                                    "right join column", rp->size() == 1));
+    if (p.op() == PlanOp::kStructuralJoin && lp->size() > 1) {
+      return NestedJoinOutputSchema(*l, *r, p, *lp, 0);
+    }
+    return JoinOutputSchema(*l, *r, p.variant(), p.nest_as());
+  }
+
+  Result<SchemaPtr> InferUnnest(const LogicalPlan& p,
+                                const std::string& path) {
+    ULOAD_ASSIGN_OR_RETURN(SchemaPtr in, Infer(*p.left(), path));
+    Result<AttrPath> r = ResolveAttrPath(*in, p.attrs()[0]);
+    if (!r.ok()) return Unresolved(path, "unnested column", p.attrs()[0], *in);
+    if (r->size() != 1) {
+      return Status::NotImplemented("unnest of non-top-level attribute");
+    }
+    const Attribute& attr = in->attr((*r)[0]);
+    if (!attr.is_collection) {
+      return Status::TypeError("plan verification: at " + path +
+                               ": unnest of atomic attribute '" +
+                               p.attrs()[0] + "'");
+    }
+    std::vector<Attribute> attrs;
+    for (int i = 0; i < in->size(); ++i) {
+      if (i == (*r)[0]) continue;
+      attrs.push_back(in->attr(i));
+    }
+    for (const Attribute& a : attr.nested->attrs()) attrs.push_back(a);
+    return Schema::Make(std::move(attrs));
+  }
+
+  const EvalContext& ctx_;
+};
+
+// --- Physical plan walk ------------------------------------------------------
+
+struct PhysicalWalkState {
+  const PhysicalVerifyOptions* opts = nullptr;
+};
+
+std::string PhysPath(const std::string& parent, const PhysicalOperator& op) {
+  return parent.empty() ? op.label() : parent + "/" + op.label();
+}
+
+Status PhysError(const std::string& path, const std::string& msg) {
+  return Status::InvalidArgument("physical plan verification: at " + path +
+                                 ": " + msg);
+}
+
+// Walks `op` and its verification children. `under_exchange` is true inside
+// a worker pipeline. `*tainted` is set when the subtree's output stream
+// passes through an arrival-order ExchangeProduce.
+Status WalkPhysical(const PhysicalOperator& op, const std::string& parent,
+                    bool under_exchange, const PhysicalWalkState& st,
+                    bool* tainted) {
+  std::string path = PhysPath(parent, op);
+  PhysOpKind kind = op.kind();
+  bool is_exchange = kind == PhysOpKind::kExchangeMerge ||
+                     kind == PhysOpKind::kExchangeProduce;
+
+  // (3) Structural / parallel placement rules.
+  if (kind == PhysOpKind::kParallelScan && !under_exchange) {
+    return PhysError(path,
+                     "ParallelScan_phi outside an exchange worker pipeline "
+                     "would silently drop every other partition");
+  }
+  if (is_exchange && under_exchange) {
+    return PhysError(path, "exchange nested inside another exchange's "
+                           "worker pipeline");
+  }
+  if (kind == PhysOpKind::kExchangeProduce &&
+      !st.opts->allow_unordered_root) {
+    return PhysError(path,
+                     "arrival-order ExchangeProduce_phi in a plan whose "
+                     "consumer did not waive result order "
+                     "(allow_unordered_root)");
+  }
+  if (kind == PhysOpKind::kExchangeMerge && op.order().empty()) {
+    return PhysError(path,
+                     "ExchangeMerge_phi above unordered worker pipelines "
+                     "has no merge keys; use ExchangeProduce_phi or ordered "
+                     "workers");
+  }
+
+  // (2) Order-descriptor soundness: the advertised order must be covered by
+  // the order the operator can actually prove from its children.
+  if (!OrderCovers(op.ProvableOrder(), op.order())) {
+    return PhysError(
+        path, "advertises order " + op.order().ToString() +
+                  " but can only prove " + op.ProvableOrder().ToString() +
+                  " from its input's order");
+  }
+
+  std::vector<PhysicalOperator*> children = op.VerifyChildren();
+  const SchemaPtr* worker0_schema = nullptr;
+  bool any_child_tainted = false;
+  for (size_t i = 0; i < children.size(); ++i) {
+    const PhysicalOperator& c = *children[i];
+    bool child_tainted = false;
+    ULOAD_RETURN_NOT_OK(WalkPhysical(c, path, under_exchange || is_exchange,
+                                     st, &child_tainted));
+    any_child_tainted = any_child_tainted || child_tainted;
+
+    // Order-requirement coverage: the input must prove the order this
+    // operator's algorithm assumes.
+    OrderDescriptor required = op.RequiredChildOrder(i);
+    if (!OrderCovers(c.order(), required)) {
+      return PhysError(
+          path, "requires input " + std::to_string(i) + " (" + c.label() +
+                    ") ordered " + required.ToString() +
+                    " but its advertised order is " + c.order().ToString());
+    }
+
+    // Exchange workers must agree on one schema; the collector re-tags
+    // nothing.
+    if (is_exchange) {
+      if (worker0_schema == nullptr) {
+        worker0_schema = &c.schema();
+      } else {
+        Status s = CheckSameShape(**worker0_schema, *c.schema());
+        if (!s.ok()) {
+          return PhysError(path, "worker " + std::to_string(i) +
+                                     " schema diverges from worker 0: " +
+                                     s.message());
+        }
+      }
+    }
+  }
+
+  // Union re-tags right-side batches with the left schema, which is only
+  // sound when the shapes agree.
+  if (kind == PhysOpKind::kUnion && children.size() == 2) {
+    Status s = CheckSameShape(*children[0]->schema(), *children[1]->schema());
+    if (!s.ok()) {
+      return PhysError(path,
+                       "union inputs are not shape-compatible: " + s.message());
+    }
+  }
+
+  // (3) Order-sensitive operators must never consume an arrival-order
+  // stream: their output would be nondeterministic.
+  if (op.OrderSensitive() && any_child_tainted) {
+    return PhysError(path,
+                     "order-sensitive operator consumes the nondeterministic "
+                     "arrival-order stream of an ExchangeProduce_phi");
+  }
+
+  *tainted = any_child_tainted || kind == PhysOpKind::kExchangeProduce;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SchemaPtr> VerifyLogicalPlan(const LogicalPlan& plan,
+                                    const EvalContext& ctx) {
+  LogicalVerifier v(ctx);
+  return v.Infer(plan, "");
+}
+
+Status VerifyTemplate(const XmlTemplate& templ, const Schema& root_schema) {
+  return LogicalVerifier::CheckTemplate(templ, root_schema, "template");
+}
+
+Status VerifyPhysicalPlan(const PhysicalOperator& root,
+                          const PhysicalVerifyOptions& opts) {
+  PhysicalWalkState st;
+  st.opts = &opts;
+  bool tainted = false;
+  ULOAD_RETURN_NOT_OK(WalkPhysical(root, "", false, st, &tainted));
+  // Sort_φ elision obligations: every elided enforcer's order must still be
+  // covered by the operator that stood in for it.
+  for (const auto& [op, required] : opts.order_obligations) {
+    if (!OrderCovers(op->order(), required)) {
+      return PhysError(op->label(),
+                       "Sort_phi" + required.ToString() +
+                           " was elided here, but the operator's final "
+                           "advertised order " + op->order().ToString() +
+                           " no longer covers it");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace uload

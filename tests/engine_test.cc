@@ -162,6 +162,31 @@ TEST(EngineDifferentialTest, XMarkCorpusAcrossAllModels) {
   EXPECT_GE(covered, 4);
 }
 
+// Tracks the known rewriter divergence that CheckDifferential above logs to
+// stderr ("known rewriter divergence (legacy != direct)"): over
+// StructuralIdModel, a two-step path like //people/person loses the tag
+// restriction of an inner step, so a non-person child of <people> leaks
+// into the result. The gap is in the rewriting (both the legacy
+// materializing executor and the streaming engine reproduce it faithfully,
+// and the plan verifier proves the plan schema/order-sound — the plan is
+// well-formed, it is just not equivalent to the query over this model).
+// Remove DISABLED_ once the rewriter keeps the tag formula when embedding
+// inner path steps into sid_main.
+TEST(EngineKnownDivergence, DISABLED_StructuralIdModelDropsTagRestriction) {
+  // Smallest XMark instance the generator emits; the person records carry
+  // name children, and other entities (items, auctions) carry name-tagged
+  // descendants too — those leak once the person restriction is dropped.
+  Engine engine(GenerateXMark(XMarkScale(0.02)));
+  ASSERT_TRUE(engine.InstallModel(StructuralIdModel()).ok());
+  const std::string q =
+      "for $x in doc(\"x\")//people/person return <p>{$x/name/text()}</p>";
+  auto run = engine.Run(q);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Direct interpretation returns only the person names; the rewritten
+  // plan surfaces extra name-tagged nodes.
+  EXPECT_EQ(*run, DirectResult(q, engine.document()));
+}
+
 class EngineTest : public ::testing::Test {
  protected:
   void SetUp() override {

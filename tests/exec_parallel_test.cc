@@ -15,6 +15,7 @@
 #include "eval/tag_collections.h"
 #include "exec/exchange.h"
 #include "exec/physical.h"
+#include "verify/plan_verifier.h"
 #include "workload/pattern_gen.h"
 #include "workload/xmark.h"
 
@@ -137,6 +138,13 @@ class ExecParallelTest : public ::testing::Test {
   // (exact order — ExchangeMerge keeps parallel execution deterministic).
   void CheckDifferential(const PlanPtr& plan, const EvalContext& ctx,
                          const std::string& what) {
+    // Static analysis leg: every generated plan must pass the logical
+    // verifier before anything executes. (The physical verifier runs inside
+    // every CompilePhysicalPlan below — verify_plans defaults on — so each
+    // compiled tree, serial and parallel, is order/placement-checked too.)
+    auto verified = VerifyLogicalPlan(*plan, ctx);
+    ASSERT_TRUE(verified.ok()) << what << ": " << verified.status().ToString();
+
     auto reference = Evaluate(*plan, ctx);
     ASSERT_TRUE(reference.ok()) << what << ": " << reference.status().ToString();
 
