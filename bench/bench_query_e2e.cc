@@ -8,12 +8,16 @@
 //
 // Run with --smoke for the CI leg: one iteration over a tiny document.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "exec/memory_tracker.h"
+#include "exec/query_control.h"
 #include "workload/xmark.h"
 
 namespace uload {
@@ -72,6 +76,7 @@ int Run(double scale, int reps) {
     });
     std::printf("%-16s %-22s %12.1f %10s\n", q.name, "legacy", legacy, "1.00x");
 
+    double default_micros = 0;
     for (size_t threads : kThreadBudgets) {
       for (size_t batch : kBatchSizes) {
         ExecContext exec(batch);
@@ -87,6 +92,7 @@ int Run(double scale, int reps) {
                        q.name);
           return 1;
         }
+        if (batch == kDefaultBatch && threads == 1) default_micros = micros;
         char config[64];
         std::snprintf(config, sizeof(config), "stream b=%zu t=%zu%s", batch,
                       threads,
@@ -94,6 +100,47 @@ int Run(double scale, int reps) {
         std::printf("%-16s %-22s %12.1f %9.2fx\n", q.name, config, micros,
                     micros > 0 ? legacy / micros : 0.0);
       }
+    }
+
+    // Governor overhead: the starred configuration with the resource
+    // governor fully armed — an active deadline checked at every batch
+    // boundary plus per-operator memory accounting against a (generous)
+    // budget — versus the ungoverned starred row above. At the default
+    // batch size the per-batch checks amortize over ~1k tuples, so the
+    // delta must stay below run-to-run noise (EXPERIMENTS.md §PR5).
+    {
+      ExecContext exec(kDefaultBatch);
+      exec.set_thread_budget(1);
+      auto control = std::make_shared<QueryControl>();
+      // Active-but-distant deadline: the comparison is never cheaper than
+      // what a real governed query pays.
+      control->set_deadline_ns(QueryControl::NowNs() +
+                               int64_t{3600} * 1'000'000'000);
+      MemoryTracker mem("bench-query", int64_t{4} << 30);
+      exec.set_control(control);
+      exec.set_memory_tracker(&mem);
+      std::string streaming_out;
+      double micros = bench::AvgMicros(reps, [&] {
+        exec.ClearMetrics();
+        auto out = qr.Execute(*r, &doc, &exec);
+        if (out.ok()) streaming_out = std::move(*out);
+      });
+      if (streaming_out != legacy_out) {
+        std::fprintf(stderr, "%s: governed result diverges from legacy\n",
+                     q.name);
+        return 1;
+      }
+      if (mem.used() != 0) {
+        std::fprintf(stderr, "%s: governor leaked %lld bytes\n", q.name,
+                     static_cast<long long>(mem.used()));
+        return 1;
+      }
+      std::printf("%-16s %-22s %12.1f %9.2fx (vs * %+5.1f%%)\n", q.name,
+                  "stream governed", micros,
+                  micros > 0 ? legacy / micros : 0.0,
+                  default_micros > 0
+                      ? (micros - default_micros) / default_micros * 100.0
+                      : 0.0);
     }
 
     // Verifier overhead: the default configuration with static plan
@@ -146,10 +193,18 @@ int Run(double scale, int reps) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  double scale = 0;
+  int reps = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+      scale = std::atof(argv[++i]);
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
   }
   // Default scale yields thousands of matching tuples per query so the
   // measurement reflects execution, not per-query fixed overhead.
-  return uload::Run(smoke ? 0.02 : 20.0, smoke ? 1 : 5);
+  if (scale <= 0) scale = smoke ? 0.02 : 20.0;
+  if (reps <= 0) reps = smoke ? 1 : 5;
+  return uload::Run(scale, reps);
 }

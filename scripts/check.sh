@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification in the normal and sanitizer configurations:
-#   scripts/check.sh          # normal, lint, bench smoke, ASAN/UBSAN, TSAN
-#   scripts/check.sh fast     # normal configuration only
+#   scripts/check.sh                    # normal, lint, bench smoke, ASAN/UBSAN, TSAN
+#   scripts/check.sh fast               # normal configuration only
+#   scripts/check.sh --fault-injection  # fault sweep + governor tests under
+#                                       # ASAN/UBSAN and TSAN only
 # The lint leg runs clang-tidy (config in .clang-tidy) over src/ against the
 # normal build's compile_commands.json; it is skipped with a notice when
 # clang-tidy is not installed (CI installs it; see .github/workflows/ci.yml).
@@ -9,6 +11,10 @@
 # worker pool, the physical engine, the parallel differential harness and the
 # engine facade's batch/thread sweep); the rest of the suite is
 # single-threaded and covered by the other configs.
+# The fault-injection leg (DESIGN.md §8) sweeps injected operator failures,
+# cancellations, timeouts, and budget exhaustion across the engine corpus:
+# ASAN proves no aborted query leaks, TSAN proves the poison/drain/join
+# teardown of the exchange pool is race-free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +25,24 @@ run_config() {
   cmake --build "$dir" -j
   (cd "$dir" && ctest --output-on-failure -j)
 }
+
+FAULT_FILTER='ExecFaultSweep.*:EngineGovernorTest.*:XmlParserRobustness.*'
+
+if [[ "${1:-}" == "--fault-injection" ]]; then
+  echo "== fault injection under ASAN/UBSAN =="
+  cmake -B build-asan -S . -DASAN=ON
+  cmake --build build-asan -j
+  ./build-asan/tests/uload_tests --gtest_filter="$FAULT_FILTER"
+
+  echo "== fault injection under TSAN =="
+  cmake -B build-tsan -S . -DTSAN=ON
+  cmake --build build-tsan -j
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/uload_tests \
+    --gtest_filter="$FAULT_FILTER"
+
+  echo "Fault-injection checks passed."
+  exit 0
+fi
 
 echo "== normal configuration =="
 run_config build

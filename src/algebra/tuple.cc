@@ -83,6 +83,30 @@ void CollectAtomsAt(const Tuple& t, const Schema& schema, const AttrPath& path,
   }
 }
 
+int64_t ApproxTupleBytes(const Tuple& t) {
+  int64_t n = static_cast<int64_t>(sizeof(Tuple));
+  for (const Field& f : t.fields) {
+    n += static_cast<int64_t>(sizeof(Field));
+    if (f.is_collection()) {
+      n += ApproxTupleListBytes(f.collection());
+    } else {
+      const AtomicValue& v = f.atom();
+      if (v.is_string()) {
+        n += static_cast<int64_t>(v.as_string().capacity());
+      } else if (v.kind() == AtomicValue::Kind::kDewey) {
+        n += static_cast<int64_t>(v.dewey().capacity() * sizeof(uint32_t));
+      }
+    }
+  }
+  return n;
+}
+
+int64_t ApproxTupleListBytes(const TupleList& ts) {
+  int64_t n = 0;
+  for (const Tuple& t : ts) n += ApproxTupleBytes(t);
+  return n;
+}
+
 std::string TupleToString(const Tuple& t) {
   std::string out = "(";
   for (size_t i = 0; i < t.fields.size(); ++i) {

@@ -61,6 +61,13 @@ void CollectAtomsAt(const Tuple& t, const Schema& schema, const AttrPath& path,
 // Debug rendering "( v1, [ (..) (..) ], v2 )".
 std::string TupleToString(const Tuple& t);
 
+// Rough heap-footprint estimates for memory accounting (exec/
+// memory_tracker.h): struct sizes plus string/Dewey payloads, descending
+// into nested collections. Estimates, not allocator truth — budgets are
+// order-of-magnitude guards, not ledgers.
+int64_t ApproxTupleBytes(const Tuple& t);
+int64_t ApproxTupleListBytes(const TupleList& ts);
+
 }  // namespace uload
 
 #endif  // ULOAD_ALGEBRA_TUPLE_H_

@@ -45,6 +45,9 @@ class TupleBatch {
   // Drops all tuples, keeping schema and capacity.
   void Clear() { tuples_.clear(); }
 
+  // Rough heap footprint (see ApproxTupleBytes) for memory accounting.
+  int64_t ApproxBytes() const { return ApproxTupleListBytes(tuples_); }
+
  private:
   SchemaPtr schema_;
   size_t capacity_;

@@ -19,6 +19,9 @@ enum class StatusCode {
   kNotImplemented,
   kTypeError,
   kInternal,
+  kCancelled,          // query cancelled cooperatively (QueryControl)
+  kDeadlineExceeded,   // per-query deadline/timeout elapsed
+  kResourceExhausted,  // memory budget exceeded (MemoryTracker)
 };
 
 // Value-type status. Ok() carries no allocation; errors carry a message.
@@ -44,6 +47,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -25,6 +25,7 @@ CanonicalTree BuildTree(const Xam& p, const PathSummary& s,
   for (XamNodeId id : p.PreOrder()) {
     if (id == kXamRoot) continue;
     if (erased[id]) continue;
+    if (e[id] == kNoSummaryNode) continue;  // unembeddable optional subtree
     XamNodeId pparent = p.node(id).parent;
     if (t.image[pparent] < 0) continue;  // inside an erased subtree
     // Chain of summary nodes strictly between e(parent) and e(id).
@@ -249,29 +250,73 @@ bool ForEachCanonicalTree(const Xam& p, const PathSummary& summary,
     }
 
    private:
-    bool Recurse(size_t idx,
-                 const std::function<bool(const SummaryEmbedding&)>& cb) {
-      if (idx == order_.size()) return cb(image_);
-      XamNodeId node = order_[idx];
+    // Summary candidates for `node` below `base`, filtered by kind/label.
+    std::vector<SummaryNodeId> Candidates(XamNodeId node,
+                                          SummaryNodeId base) const {
       const XamNode& pn = p_.node(node);
       const XamEdge& edge = p_.IncomingEdge(node);
-      SummaryNodeId base = image_[p_.node(node).parent];
-      std::vector<SummaryNodeId> candidates =
+      std::vector<SummaryNodeId> raw =
           edge.axis == Axis::kChild
               ? s_.ChildrenWithLabel(base, pn.tag_value)
               : s_.Descendants(base, pn.tag_value);
-      for (SummaryNodeId c : candidates) {
+      std::vector<SummaryNodeId> out;
+      for (SummaryNodeId c : raw) {
         const SummaryNode& sn = s_.node(c);
         bool kind_ok = pn.is_attribute
                            ? sn.kind == NodeKind::kAttribute &&
                                  (pn.tag_value.empty() ||
                                   sn.label == pn.tag_value)
                            : sn.kind == NodeKind::kElement;
-        if (!kind_ok) continue;
+        if (kind_ok) out.push_back(c);
+      }
+      return out;
+    }
+
+    // Whether the subtree rooted at `node` admits a full embedding when
+    // `node` maps to `at` (optional children may be ⊥, required ones may
+    // not).
+    bool SubtreeEmbeds(XamNodeId node, SummaryNodeId at) const {
+      for (const XamEdge& e : p_.node(node).edges) {
+        if (e.optional()) continue;
+        bool found = false;
+        for (SummaryNodeId c : Candidates(e.child, at)) {
+          if (SubtreeEmbeds(e.child, c)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+
+    bool Recurse(size_t idx,
+                 const std::function<bool(const SummaryEmbedding&)>& cb) {
+      if (idx == order_.size()) return cb(image_);
+      XamNodeId node = order_[idx];
+      const XamEdge& edge = p_.IncomingEdge(node);
+      SummaryNodeId base = image_[p_.node(node).parent];
+      if (base == kNoSummaryNode) {
+        // Inside an unembeddable optional subtree: the whole subtree is ⊥.
+        image_[node] = kNoSummaryNode;
+        return Recurse(idx + 1, cb);
+      }
+      std::vector<SummaryNodeId> candidates;
+      for (SummaryNodeId c : Candidates(node, base)) {
+        if (SubtreeEmbeds(node, c)) candidates.push_back(c);
+      }
+      for (SummaryNodeId c : candidates) {
         image_[node] = c;
         if (!Recurse(idx + 1, cb)) return false;
       }
       image_[node] = kNoSummaryNode;
+      if (candidates.empty() && edge.optional()) {
+        // An optional subtree with no summary embedding maps to ⊥ — the
+        // documents conforming to S simply never realize it. Skipping the
+        // embedding entirely (the pre-fix behavior) silently shrank the
+        // canonical model and made containment accept too much.
+        return Recurse(idx + 1, cb);
+      }
       return true;
     }
 
@@ -289,6 +334,7 @@ bool ForEachCanonicalTree(const Xam& p, const PathSummary& summary,
       // when strong edges guarantee a match below the (kept) anchor.
       for (XamNodeId c : opt_children) {
         XamNodeId parent = p.node(c).parent;
+        if (e[parent] == kNoSummaryNode) continue;  // parent itself is ⊥
         if (erased[c] && !erased[parent] &&
             StrongGuaranteed(p, c, p.IncomingEdge(c).axis, e[parent],
                              summary)) {

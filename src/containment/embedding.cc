@@ -31,6 +31,38 @@ class Enumerator {
   }
 
  private:
+  std::vector<SummaryNodeId> Candidates(XamNodeId node,
+                                        SummaryNodeId base) const {
+    const XamNode& pn = p_.node(node);
+    const XamEdge& edge = p_.IncomingEdge(node);
+    std::vector<SummaryNodeId> raw =
+        edge.axis == Axis::kChild
+            ? s_.ChildrenWithLabel(base, pn.tag_value)
+            : s_.Descendants(base, pn.tag_value);
+    std::vector<SummaryNodeId> out;
+    for (SummaryNodeId c : raw) {
+      if (NodeMatches(pn, s_.node(c))) out.push_back(c);
+    }
+    return out;
+  }
+
+  // Whether `node`'s subtree fully embeds with `node` at `at` (optional
+  // children may map to ⊥).
+  bool SubtreeEmbeds(XamNodeId node, SummaryNodeId at) const {
+    for (const XamEdge& e : p_.node(node).edges) {
+      if (e.optional()) continue;
+      bool found = false;
+      for (SummaryNodeId c : Candidates(e.child, at)) {
+        if (SubtreeEmbeds(e.child, c)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
   void Recurse(size_t idx) {
     if (found_.size() >= limit_) return;
     if (idx == order_.size()) {
@@ -38,20 +70,29 @@ class Enumerator {
       return;
     }
     XamNodeId node = order_[idx];
-    const XamNode& pn = p_.node(node);
     const XamEdge& edge = p_.IncomingEdge(node);
     SummaryNodeId base = image_[p_.node(node).parent];
-    std::vector<SummaryNodeId> candidates =
-        edge.axis == Axis::kChild
-            ? s_.ChildrenWithLabel(base, pn.tag_value)
-            : s_.Descendants(base, pn.tag_value);
+    if (base == kNoSummaryNode) {
+      // Inside an unembeddable optional subtree: stays ⊥.
+      image_[node] = kNoSummaryNode;
+      Recurse(idx + 1);
+      return;
+    }
+    std::vector<SummaryNodeId> candidates;
+    for (SummaryNodeId c : Candidates(node, base)) {
+      if (SubtreeEmbeds(node, c)) candidates.push_back(c);
+    }
     for (SummaryNodeId c : candidates) {
-      if (!NodeMatches(pn, s_.node(c))) continue;
       image_[node] = c;
       Recurse(idx + 1);
       if (found_.size() >= limit_) return;
     }
     image_[node] = kNoSummaryNode;
+    if (candidates.empty() && edge.optional()) {
+      // No summary embedding for this optional subtree: it maps to ⊥ and
+      // the rest of the pattern may still embed.
+      Recurse(idx + 1);
+    }
   }
 
   const Xam& p_;
@@ -125,6 +166,9 @@ std::vector<std::vector<SummaryNodeId>> PathAnnotations(
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       XamNodeId id = *it;
       for (const XamEdge& e : p.node(id).edges) {
+        // An optional child with no compatible placement maps to ⊥; it must
+        // not prune its parent's candidates.
+        if (e.optional()) continue;
         std::vector<SummaryNodeId> kept;
         for (SummaryNodeId pc : cand[id]) {
           bool ok = false;

@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include <algorithm>
+
 #include "exec/physical.h"
 #include "verify/plan_verifier.h"
 
@@ -12,6 +14,12 @@ Engine::Engine(Document doc, Options options)
   summary_ = PathSummary::Build(&doc_);
   exec_.set_thread_budget(options_.thread_budget);
   exec_.set_verify_plans(options_.verify);
+  engine_memory_.set_limit(options_.engine_memory_limit_bytes);
+}
+
+void Engine::SetOptions(Options options) {
+  options_ = std::move(options);
+  engine_memory_.set_limit(options_.engine_memory_limit_bytes);
 }
 
 Status Engine::InstallModel(std::vector<NamedXam> model) {
@@ -32,11 +40,53 @@ Result<QueryRewriteResult> Engine::RewriteQuery(
   return qr.Rewrite(query, options_.rewrite);
 }
 
+std::shared_ptr<QueryControl> Engine::BeginQuery(ExecContext* exec,
+                                                 MemoryTracker* query_mem) {
+  exec->set_thread_budget(options_.thread_budget);
+  exec->set_verify_plans(options_.verify);
+  exec->set_memory_tracker(query_mem);
+  exec->set_fault(options_.fault);
+  std::shared_ptr<QueryControl> control =
+      options_.control != nullptr ? options_.control
+                                  : std::make_shared<QueryControl>();
+  if (options_.timeout_ms > 0) {
+    control->set_deadline_ns(QueryControl::NowNs() +
+                             options_.timeout_ms * 1'000'000);
+  } else if (options_.timeout_ms < 0) {
+    // Testing: an already-expired deadline trips the very first check.
+    control->set_deadline_ns(1);
+  }
+  exec->set_control(control);
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.push_back(control);
+  return control;
+}
+
+void Engine::EndQuery(const std::shared_ptr<QueryControl>& control,
+                      const ExecContext& exec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), control),
+                  inflight_.end());
+  exec_.CopyMetricsFrom(exec);
+}
+
+void Engine::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::shared_ptr<QueryControl>& c : inflight_) c->Cancel();
+}
+
 Result<std::string> Engine::Run(const std::string& query) {
   ULOAD_ASSIGN_OR_RETURN(QueryRewriteResult r, RewriteQuery(query));
   QueryRewriter qr(&summary_, &catalog_);
-  exec_.ClearMetrics();
-  return qr.Execute(r, &doc_, &exec_);
+  // Private per-query context + governor: concurrent queries on one engine
+  // share nothing but the document, the catalog, and the engine tracker.
+  ExecContext exec(options_.batch_size);
+  MemoryTracker query_mem("query", options_.memory_limit_bytes,
+                          &engine_memory_);
+  std::shared_ptr<QueryControl> control = BeginQuery(&exec, &query_mem);
+  Result<std::string> out = qr.Execute(r, &doc_, &exec);
+  EndQuery(control, exec);
+  return out;
 }
 
 Result<Engine::Explanation> Engine::Explain(const std::string& query) {
@@ -44,14 +94,18 @@ Result<Engine::Explanation> Engine::Explain(const std::string& query) {
   QueryRewriter qr(&summary_, &catalog_);
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
   EvalContext ctx = catalog_.MakeEvalContext(&doc_);
-  if (exec_.verify_plans()) {
+  if (options_.verify) {
     ULOAD_ASSIGN_OR_RETURN(SchemaPtr root_schema,
                            VerifyLogicalPlan(*plan, ctx));
     ULOAD_RETURN_NOT_OK(VerifyTemplate(r.translation.templ, *root_schema));
   }
-  exec_.ClearMetrics();
+  // Compile against a throwaway context: Explain never executes, so nothing
+  // needs to survive this call.
+  ExecContext exec(options_.batch_size);
+  exec.set_thread_budget(options_.thread_budget);
+  exec.set_verify_plans(options_.verify);
   ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
-                         CompilePhysicalPlan(plan, ctx, &exec_));
+                         CompilePhysicalPlan(plan, ctx, &exec));
   Explanation out;
   out.logical = plan->ToString();
   out.physical = root->Describe();
@@ -63,28 +117,46 @@ Result<Engine::Explanation> Engine::ExplainAnalyze(const std::string& query) {
   QueryRewriter qr(&summary_, &catalog_);
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
   EvalContext ctx = catalog_.MakeEvalContext(&doc_);
-  if (exec_.verify_plans()) {
+  if (options_.verify) {
     ULOAD_ASSIGN_OR_RETURN(SchemaPtr root_schema,
                            VerifyLogicalPlan(*plan, ctx));
     ULOAD_RETURN_NOT_OK(VerifyTemplate(r.translation.templ, *root_schema));
   }
-  exec_.ClearMetrics();
-  ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
-                         CompilePhysicalPlan(plan, ctx, &exec_));
+  ExecContext exec(options_.batch_size);
+  MemoryTracker query_mem("query", options_.memory_limit_bytes,
+                          &engine_memory_);
+  std::shared_ptr<QueryControl> control = BeginQuery(&exec, &query_mem);
+  Result<PhysicalPtr> compiled = CompilePhysicalPlan(plan, ctx, &exec);
+  if (!compiled.ok()) {
+    EndQuery(control, exec);
+    return compiled.status();
+  }
+  PhysicalPtr root = std::move(*compiled);
   Explanation out;
   out.logical = plan->ToString();
-  ULOAD_RETURN_NOT_OK(root->Open());
-  for (;;) {
-    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, root->NextBatch());
-    if (!b.has_value()) break;
-    for (const Tuple& t : b->tuples()) {
-      ULOAD_RETURN_NOT_OK(ApplyTemplateToTuple(r.translation.templ,
-                                               *root->schema(), t,
-                                               &out.result));
+  Status s = root->Open();
+  if (s.ok()) {
+    for (;;) {
+      Result<std::optional<TupleBatch>> b = root->NextBatch();
+      if (!b.ok()) {
+        s = b.status();
+        break;
+      }
+      if (!b->has_value()) break;
+      for (const Tuple& t : (*b)->tuples()) {
+        s = ApplyTemplateToTuple(r.translation.templ, *root->schema(), t,
+                                 &out.result);
+        if (!s.ok()) break;
+      }
+      if (!s.ok()) break;
     }
   }
+  // Close unconditionally — the error path is exactly where exchange
+  // workers must be joined and queues drained before the Status surfaces.
   root->Close();
   out.physical = root->DescribeAnalyze();
+  EndQuery(control, exec);
+  ULOAD_RETURN_NOT_OK(s);
   return out;
 }
 

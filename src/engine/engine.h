@@ -8,9 +8,18 @@
 // The serving path is fully streaming: the rewriter's combined plan compiles
 // into the batched physical executor and tuples feed the tagging template
 // batch by batch, with no intermediate materialized relation.
+//
+// Resource governance (DESIGN.md §8): every Run/ExplainAnalyze executes on a
+// private ExecContext with a fresh QueryControl (deadline = now + timeout)
+// and a per-query MemoryTracker parented to the engine-wide tracker, so
+// queries can run concurrently on one engine, each governed independently.
+// Cancel() trips every in-flight query; each aborts at its next batch
+// boundary with kCancelled, workers joined and queues drained.
 #ifndef ULOAD_ENGINE_ENGINE_H_
 #define ULOAD_ENGINE_ENGINE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,11 +41,38 @@ class Engine {
     // order/placement soundness. A malformed plan surfaces as a Status
     // instead of undefined behavior mid-execution.
     bool verify = true;
+    // Wall-clock budget of one Run/ExplainAnalyze call in milliseconds;
+    // 0 = unlimited. An exceeded deadline aborts the query at the next batch
+    // boundary with kDeadlineExceeded. Negative = already expired (testing:
+    // the very first check trips, deterministically).
+    int64_t timeout_ms = 0;
+    // Per-query memory budget in bytes (0 = unlimited): the bytes held by
+    // one query's materializing operators and in-flight exchange slots. An
+    // exceeded budget aborts that query with kResourceExhausted; concurrent
+    // queries under their own budgets are unaffected.
+    int64_t memory_limit_bytes = 0;
+    // Engine-wide budget shared by all concurrent queries (0 = unlimited);
+    // the per-query trackers parent to it.
+    int64_t engine_memory_limit_bytes = 0;
+    // Testing hook: an externally owned cancellation handle to install on
+    // the next queries instead of a fresh one — lets a test observe
+    // QueryControl::checks() or arm CancelAfterChecks() for deterministic
+    // mid-query cancellation. Null (the default) = fresh handle per query.
+    std::shared_ptr<QueryControl> control;
+    // Fault injection for robustness testing (disabled by default); see
+    // FaultSpec in exec/exec_context.h.
+    FaultSpec fault;
     RewriteOptions rewrite;
   };
 
   explicit Engine(Document doc);
   Engine(Document doc, Options options);
+
+  // Replaces the engine options. Governor settings (timeout, budgets, fault
+  // spec, control override) are read per query at Begin, so changed options
+  // apply to the next query. Call with no queries in flight.
+  void SetOptions(Options options);
+  const Options& options() const { return options_; }
 
   // Replaces the installed storage model: materializes every XAM of `model`
   // over the document into a fresh catalog.
@@ -45,8 +81,15 @@ class Engine {
   Status AddView(std::string name, Xam definition);
 
   // Rewrites `query` over the installed views and streams the combined plan
-  // through the physical executor into serialized XML.
+  // through the physical executor into serialized XML. Thread-safe against
+  // concurrent Run/ExplainAnalyze/Cancel on the same engine.
   Result<std::string> Run(const std::string& query);
+
+  // Cancels every in-flight Run/ExplainAnalyze: each aborts at its next
+  // batch boundary with kCancelled (clean Status, workers joined, queues
+  // drained, budget trackers back to zero). Queries started after this call
+  // are unaffected. Thread-safe.
+  void Cancel();
 
   struct Explanation {
     std::string logical;   // combined logical plan rendering
@@ -62,16 +105,31 @@ class Engine {
   const Document& document() const { return doc_; }
   const PathSummary& summary() const { return summary_; }
   const Catalog& catalog() const { return catalog_; }
-  // Runtime counters of the most recent Run/ExplainAnalyze.
+  // Runtime counters of the most recent completed Run/ExplainAnalyze.
   const ExecContext& exec_context() const { return exec_; }
+  // Engine-wide memory tracker (root of the per-query hierarchy). used()
+  // returns to zero when no query is in flight — aborted ones included.
+  const MemoryTracker& memory() const { return engine_memory_; }
 
  private:
   Result<QueryRewriteResult> RewriteQuery(const std::string& query) const;
+  // Installs the per-query governor state on `exec` (control with deadline,
+  // tracker, fault spec, thread budget) and registers the control as
+  // in-flight. Returns the control for EndQuery.
+  std::shared_ptr<QueryControl> BeginQuery(ExecContext* exec,
+                                           MemoryTracker* query_mem);
+  // Deregisters the control and publishes the query's counters as the
+  // engine's "most recent" metrics.
+  void EndQuery(const std::shared_ptr<QueryControl>& control,
+                const ExecContext& exec);
 
   Document doc_;
   PathSummary summary_;
   Catalog catalog_;
   Options options_;
+  MemoryTracker engine_memory_{"engine"};
+  mutable std::mutex mu_;  // guards inflight_ and exec_
+  std::vector<std::shared_ptr<QueryControl>> inflight_;
   ExecContext exec_;
 };
 

@@ -1,8 +1,20 @@
 #include "exec/exchange.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "opt/cost.h"
+
 namespace uload {
+
+namespace {
+// Rough bytes-per-slot estimate for queue sizing before any data flows:
+// governed queries size their exchange queues against the budget using an
+// assumed 128 bytes per tuple.
+int64_t EstimatedBatchBytes(size_t batch_size) {
+  return static_cast<int64_t>(batch_size) * 128;
+}
+}  // namespace
 
 // --- BoundedBatchQueue -------------------------------------------------------
 
@@ -109,11 +121,15 @@ std::vector<PhysicalOperator*> ExchangeBase::children() const {
 void ExchangeBase::BindChildren(ExecContext* ctx) {
   // Worker 0 is the template pipeline: it registers with the plan's context
   // so DescribeAnalyze() shows its slots. The other workers get private
-  // contexts so no counter slot is shared across threads.
+  // contexts so no counter slot is shared across threads; ConfigureWorker
+  // copies the governor state (cancellation handle, budget tracker, fault
+  // spec) so every worker pipeline observes the same query controls.
+  tracker_ = ctx->memory_tracker();
   workers_[0]->Bind(ctx);
   worker_ctxs_.clear();
   for (size_t i = 1; i < workers_.size(); ++i) {
     worker_ctxs_.push_back(std::make_unique<ExecContext>(ctx->batch_size()));
+    ctx->ConfigureWorker(worker_ctxs_.back().get());
     workers_[i]->Bind(worker_ctxs_.back().get());
   }
 }
@@ -136,27 +152,68 @@ void ExchangeBase::StartWorkers() {
           }
           if (!r->has_value()) break;
           if ((*r)->empty()) continue;
-          if (!q->Push(std::move(**r))) break;  // consumer shut the queue down
+          // Queue slots count toward the query budget while the batch sits
+          // between producer and consumer; the Pop side releases the charge.
+          int64_t bytes = 0;
+          if (tracker_ != nullptr) {
+            bytes = (*r)->ApproxBytes();
+            Status cs = tracker_->Charge(bytes);
+            if (!cs.ok()) {
+              s = std::move(cs);
+              break;
+            }
+          }
+          if (!q->Push(std::move(**r))) {
+            // Consumer (or a failed sibling) shut the queue down.
+            if (tracker_ != nullptr) tracker_->Release(bytes);
+            break;
+          }
         }
       }
       w->Close();
       if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(status_mu_);
-        statuses_[i] = std::move(s);
+        {
+          std::lock_guard<std::mutex> lock(status_mu_);
+          statuses_[i] = std::move(s);
+        }
+        // A failed worker (cancel, budget, injected fault) poisons every
+        // queue: siblings blocked in Push() unblock and wind down, and the
+        // collector stops pulling instead of running the query to the end.
+        PoisonAllQueues();
       }
       q->ProducerDone();
     });
   }
 }
 
-void ExchangeBase::StopWorkers() {
+void ExchangeBase::PoisonAllQueues() {
   for (size_t i = 0; i < workers_.size(); ++i) {
     if (BoundedBatchQueue* q = queue_for(i)) q->Shutdown();
   }
+}
+
+void ExchangeBase::StopWorkers() {
+  PoisonAllQueues();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  // Batches queued but never consumed still carry budget charges; drain
+  // them so an aborted query returns the tracker to zero. Every producer
+  // has called ProducerDone() by now, so Pop() cannot block.
+  if (tracker_ != nullptr) {
+    std::vector<BoundedBatchQueue*> seen;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      BoundedBatchQueue* q = queue_for(i);
+      if (q == nullptr || std::find(seen.begin(), seen.end(), q) != seen.end()) {
+        continue;
+      }
+      seen.push_back(q);
+      while (std::optional<TupleBatch> b = q->Pop()) {
+        tracker_->Release(b->ApproxBytes());
+      }
+    }
+  }
   // Fold workers 1..N-1 into worker 0's counter slots (and zero the
   // sources), so the template pipeline shows whole-exchange totals.
   for (size_t i = 1; i < workers_.size(); ++i) {
@@ -187,8 +244,12 @@ std::string ExchangeProducePhys::label() const {
 
 Status ExchangeProducePhys::OpenImpl() {
   StopWorkers();  // re-open without an intervening Close()
+  size_t cap = ExchangeQueueCapacity(
+      worker_count(), /*per_worker=*/false,
+      tracker_ != nullptr ? tracker_->limit() : 0,
+      EstimatedBatchBytes(batch_size()));
   queue_ = std::make_unique<BoundedBatchQueue>(
-      2 * worker_count(), static_cast<int>(worker_count()));
+      cap, static_cast<int>(worker_count()));
   StartWorkers();
   return Status::Ok();
 }
@@ -199,6 +260,7 @@ Result<std::optional<TupleBatch>> ExchangeProducePhys::NextBatchImpl() {
     ULOAD_RETURN_NOT_OK(WorkerError());
     return std::optional<TupleBatch>();
   }
+  if (tracker_ != nullptr) tracker_->Release(b->ApproxBytes());
   b->set_schema(schema_);
   return std::optional<TupleBatch>(std::move(*b));
 }
@@ -233,9 +295,12 @@ Status ExchangeMergePhys::OpenImpl() {
     key_idx_.emplace_back(p[0], k.ascending);
   }
   size_t n = worker_count();
+  size_t cap = ExchangeQueueCapacity(n, /*per_worker=*/true,
+                                     tracker_ != nullptr ? tracker_->limit() : 0,
+                                     EstimatedBatchBytes(batch_size()));
   queues_.clear();
   for (size_t i = 0; i < n; ++i) {
-    queues_.push_back(std::make_unique<BoundedBatchQueue>(4, 1));
+    queues_.push_back(std::make_unique<BoundedBatchQueue>(cap, 1));
   }
   heads_.assign(n, std::nullopt);
   head_pos_.assign(n, 0);
@@ -249,7 +314,11 @@ bool ExchangeMergePhys::EnsureHead(size_t i) {
          (!heads_[i].has_value() || head_pos_[i] >= heads_[i]->size())) {
     heads_[i] = queues_[i]->Pop();
     head_pos_[i] = 0;
-    if (!heads_[i].has_value()) done_[i] = true;
+    if (!heads_[i].has_value()) {
+      done_[i] = true;
+    } else if (tracker_ != nullptr) {
+      tracker_->Release(heads_[i]->ApproxBytes());
+    }
   }
   return !done_[i];
 }

@@ -133,9 +133,14 @@ class ExchangeBase : public PhysicalOperator {
   // Spawns one thread per worker; `queue_for(i)` supplies the queue worker i
   // pushes into.
   void StartWorkers();
-  // Shuts all queues down, joins the threads, and rolls per-worker counters
-  // up into worker 0. Safe to call when no workers run.
+  // Shuts all queues down, joins the threads, releases the budget charges of
+  // batches that were queued but never consumed, and rolls per-worker
+  // counters up into worker 0. Safe to call when no workers run.
   void StopWorkers();
+  // Shuts every queue down without joining: a failed worker calls this so
+  // its siblings (blocked in Push) and the collector stop promptly instead
+  // of running the rest of the query. Safe from any worker thread.
+  void PoisonAllQueues();
   // First non-OK worker status, or OK. Valid once a queue reported done or
   // after StopWorkers().
   Status WorkerError();
@@ -145,6 +150,10 @@ class ExchangeBase : public PhysicalOperator {
   std::vector<PhysicalPtr> workers_;
   SchemaPtr schema_;
   OrderDescriptor order_;
+  // Query-level budget tracker adopted at bind time (null = ungoverned).
+  // Queue slots are charged by the producing worker and released at Pop;
+  // derived OpenImpl()s also size their queues against its limit.
+  MemoryTracker* tracker_ = nullptr;
 
  private:
   std::vector<std::thread> threads_;

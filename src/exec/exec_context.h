@@ -20,9 +20,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 
 #include "algebra/tuple_batch.h"
+#include "exec/memory_tracker.h"
+#include "exec/query_control.h"
 
 namespace uload {
 
@@ -42,12 +45,14 @@ struct OperatorMetrics {
   int64_t tuples_produced = 0;
   int64_t open_ns = 0;          // wall-clock inside Open(), inclusive
   int64_t next_ns = 0;          // wall-clock inside NextBatch(), inclusive
+  int64_t peak_bytes = 0;       // peak bytes held by this operator
 
   void Reset() {
     batches_produced = 0;
     tuples_produced = 0;
     open_ns = 0;
     next_ns = 0;
+    peak_bytes = 0;
   }
 
   // Adds `other`'s counters to this slot (label unchanged). Used to roll
@@ -57,10 +62,48 @@ struct OperatorMetrics {
     tuples_produced += other.tuples_produced;
     open_ns += other.open_ns;
     next_ns += other.next_ns;
+    // Workers hold their buffers concurrently: their peaks add up.
+    peak_bytes += other.peak_bytes;
   }
 
-  // "batches=3 tuples=2310 open=0.12ms next=4.56ms".
+  // "batches=3 tuples=2310 open=0.12ms next=4.56ms" (+ " mem=<n>B" when the
+  // operator held memory).
   std::string ToString() const;
+};
+
+// Deterministic fault-injection specification (testing only; see
+// tests/exec_fault_test.cc). When enabled, the matching operator call —
+// identified by the operator's registration ordinal and/or a label
+// substring, the call site, and the per-operator call number — returns an
+// injected kInternal error from the Open()/NextBatch() template method
+// instead of running the operator implementation. The error must propagate
+// out of Engine::Run as a clean Status with every worker joined, every
+// queue drained and no state left behind; that contract is what the fault
+// sweep enforces.
+struct FaultSpec {
+  enum class Site : uint8_t { kAny = 0, kOpen, kNextBatch };
+
+  int op_index = -1;         // registration ordinal; -1 = any operator
+  std::string op_substring;  // when non-empty the label must contain it
+  Site site = Site::kAny;
+  // Fire on the call_index-th matching call of each matching operator
+  // (0-based, counted per operator instance); -1 disables deterministic
+  // mode.
+  int64_t call_index = -1;
+  // Seeded random mode: every matching call fails independently with
+  // probability random_prob, decided by a deterministic hash of
+  // (seed, operator ordinal, site, call number) — reproducible across runs
+  // and thread schedules.
+  uint64_t random_seed = 0;
+  double random_prob = 0.0;
+
+  bool enabled() const {
+    return call_index >= 0 || (random_seed != 0 && random_prob > 0.0);
+  }
+
+  // Decision for one operator call; deterministic in its arguments.
+  bool ShouldFail(int op, const std::string& label, Site s,
+                  int64_t call) const;
 };
 
 class ExecContext {
@@ -105,6 +148,44 @@ class ExecContext {
   bool validate_batches() const { return validate_batches_; }
   void set_validate_batches(bool v) { validate_batches_ = v; }
 
+  // --- Resource governor ----------------------------------------------------
+
+  // The query's cancellation/deadline handle. Always non-null; operators
+  // cache the raw pointer at Bind() and call Check() at batch boundaries.
+  // The engine installs a fresh per-query control via set_control() so a
+  // Cancel() handle can outlive the context's internal state.
+  QueryControl* control() const { return control_.get(); }
+  const std::shared_ptr<QueryControl>& shared_control() const {
+    return control_;
+  }
+  void set_control(std::shared_ptr<QueryControl> c) {
+    if (c != nullptr) control_ = std::move(c);
+  }
+
+  // Optional memory budget accounting; null = no accounting. Non-owning —
+  // the tracker (typically the per-query level of the engine's hierarchy)
+  // must outlive every operator tree bound to this context.
+  MemoryTracker* memory_tracker() const { return memory_tracker_; }
+  void set_memory_tracker(MemoryTracker* t) { memory_tracker_ = t; }
+
+  // Fault injection (testing only; disabled by default). Operators consult
+  // the spec in their Open()/NextBatch() template methods when enabled().
+  const FaultSpec& fault() const { return fault_; }
+  void set_fault(FaultSpec f) { fault_ = std::move(f); }
+
+  // Copies the per-query runtime configuration — batch size, batch
+  // validation, control handle, memory tracker, fault spec — onto a worker
+  // context (exchange worker pipelines bind to private contexts so their
+  // counter slots stay thread-local; see exec/exchange.h). Cancellation,
+  // budgets and injected faults must reach inside workers, so those travel.
+  void ConfigureWorker(ExecContext* worker) const {
+    worker->set_batch_size(batch_size_);
+    worker->set_validate_batches(validate_batches_);
+    worker->set_control(control_);
+    worker->set_memory_tracker(memory_tracker_);
+    worker->set_fault(fault_);
+  }
+
   // Registers one operator and returns its stable counter slot.
   OperatorMetrics* Register(std::string label);
 
@@ -116,6 +197,12 @@ class ExecContext {
   // a long-lived engine calls it before each fresh compile to keep the slot
   // table from growing without bound across queries.
   void ClearMetrics() { metrics_.clear(); }
+
+  // Replaces this context's counter table with a snapshot of `other`'s. The
+  // engine runs each query on a private context and publishes the finished
+  // counters into its long-lived context this way, so concurrent queries
+  // never share counter slots. Same legality condition as ClearMetrics().
+  void CopyMetricsFrom(const ExecContext& other) { metrics_ = other.metrics_; }
 
   const std::deque<OperatorMetrics>& metrics() const { return metrics_; }
 
@@ -131,6 +218,9 @@ class ExecContext {
   bool allow_unordered_root_ = false;
   bool verify_plans_ = true;
   bool validate_batches_ = kValidateBatchesDefault;
+  std::shared_ptr<QueryControl> control_ = std::make_shared<QueryControl>();
+  MemoryTracker* memory_tracker_ = nullptr;
+  FaultSpec fault_;
   std::deque<OperatorMetrics> metrics_;
 };
 

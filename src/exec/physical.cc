@@ -32,6 +32,15 @@ Status PhysicalOperator::Open() {
   adapter_pos_ = 0;
   adapter_done_ = false;
   int64_t start = NowNs();
+  if (control_ != nullptr) {
+    Status c = control_->Check(start);
+    if (!c.ok()) return c;
+  }
+  int64_t call = open_calls_++;
+  if (fault_ != nullptr &&
+      fault_->ShouldFail(op_ordinal_, label(), FaultSpec::Site::kOpen, call)) {
+    return Status::Internal("injected fault: Open of " + label());
+  }
   Status s = OpenImpl();
   metrics_->open_ns += NowNs() - start;
   return s;
@@ -39,11 +48,35 @@ Status PhysicalOperator::Open() {
 
 Result<std::optional<TupleBatch>> PhysicalOperator::NextBatch() {
   int64_t start = NowNs();
+  // Cooperative cancellation/deadline: every batch boundary is a check
+  // point, reusing the clock read the metrics need anyway.
+  if (control_ != nullptr) {
+    Status c = control_->Check(start);
+    if (!c.ok()) return c;
+  }
+  int64_t call = next_calls_++;
+  if (fault_ != nullptr &&
+      fault_->ShouldFail(op_ordinal_, label(), FaultSpec::Site::kNextBatch,
+                         call)) {
+    return Status::Internal("injected fault: NextBatch of " + label());
+  }
   Result<std::optional<TupleBatch>> r = NextBatchImpl();
   metrics_->next_ns += NowNs() - start;
   if (r.ok() && r->has_value()) {
     metrics_->batches_produced += 1;
     metrics_->tuples_produced += static_cast<int64_t>((*r)->size());
+    if (memory_ != nullptr) {
+      // Transient charge of the streamed batch: enforces the budget and
+      // records the tracker peak at batch granularity without holding the
+      // bytes beyond the handoff (the consumer owns the batch).
+      int64_t bytes = (*r)->ApproxBytes();
+      Status ms = memory_->Charge(bytes);
+      if (!ms.ok()) return ms;
+      memory_->Release(bytes);
+      if (metrics_->peak_bytes < held_bytes_ + bytes) {
+        metrics_->peak_bytes = held_bytes_ + bytes;
+      }
+    }
     if (validate_batches_) {
       Status s = ValidateBatch(*schema(), **r);
       if (!s.ok()) {
@@ -55,7 +88,53 @@ Result<std::optional<TupleBatch>> PhysicalOperator::NextBatch() {
   return r;
 }
 
-void PhysicalOperator::Close() { CloseImpl(); }
+void PhysicalOperator::Close() {
+  CloseImpl();
+  // Whatever the implementation still held (error/cancel paths included)
+  // goes back to the tracker: an aborted query leaves no charge behind.
+  ReleaseAllMemory();
+}
+
+Status PhysicalOperator::CheckControl() {
+  if (control_ == nullptr) return Status::Ok();
+  return control_->Check(NowNs());
+}
+
+Status PhysicalOperator::ChargeMemory(int64_t bytes) {
+  if (bytes <= 0) return Status::Ok();
+  if (memory_ != nullptr) ULOAD_RETURN_NOT_OK(memory_->Charge(bytes));
+  held_bytes_ += bytes;
+  if (metrics_->peak_bytes < held_bytes_) metrics_->peak_bytes = held_bytes_;
+  return Status::Ok();
+}
+
+void PhysicalOperator::ReleaseMemory(int64_t bytes) {
+  if (bytes <= 0) return;
+  held_bytes_ -= bytes;
+  if (held_bytes_ < 0) held_bytes_ = 0;
+  if (memory_ != nullptr) memory_->Release(bytes);
+}
+
+Status PhysicalOperator::TrackGrow(int64_t bytes) {
+  deferred_bytes_ += bytes;
+  if (deferred_bytes_ < (int64_t{1} << 16)) return Status::Ok();
+  int64_t b = deferred_bytes_;
+  deferred_bytes_ = 0;
+  return ChargeMemory(b);
+}
+
+void PhysicalOperator::TrackShrink(int64_t bytes) {
+  deferred_bytes_ -= bytes;
+  if (deferred_bytes_ > -(int64_t{1} << 16)) return;
+  ReleaseMemory(-deferred_bytes_);
+  deferred_bytes_ = 0;
+}
+
+void PhysicalOperator::ReleaseAllMemory() {
+  if (held_bytes_ > 0 && memory_ != nullptr) memory_->Release(held_bytes_);
+  held_bytes_ = 0;
+  deferred_bytes_ = 0;
+}
 
 Result<std::optional<Tuple>> PhysicalOperator::NextTuple() {
   for (;;) {
@@ -95,6 +174,16 @@ void PhysicalOperator::Bind(ExecContext* ctx) {
   batch_size_ = ctx->batch_size();
   validate_batches_ = ctx->validate_batches();
   metrics_ = ctx->Register(label());
+  control_ = ctx->control();
+  memory_ = ctx->memory_tracker();
+  fault_ = ctx->fault().enabled() ? &ctx->fault() : nullptr;
+  // Registration ordinal doubles as the fault-point address: stable across
+  // runs of the same plan, enumerable by sweeping [0, metrics().size()).
+  op_ordinal_ = static_cast<int>(ctx->metrics().size()) - 1;
+  open_calls_ = 0;
+  next_calls_ = 0;
+  held_bytes_ = 0;
+  deferred_bytes_ = 0;
   BindChildren(ctx);
 }
 
@@ -359,6 +448,7 @@ class ProjectPhys : public PhysBase {
  protected:
   Status OpenImpl() override {
     seen_.clear();
+    ReleaseMemory(held_bytes());
     return input_->Open();
   }
   Result<std::optional<TupleBatch>> NextBatchImpl() override {
@@ -367,16 +457,23 @@ class ProjectPhys : public PhysBase {
                              input_->NextBatch());
       if (!in.has_value()) return std::optional<TupleBatch>();
       TupleBatch out = NewBatch();
+      int64_t added_bytes = 0;
       for (Tuple& t : in->tuples()) {
         // The input batch is exclusively ours, so steal the kept fields
         // instead of deep-copying them.
         Tuple projected = proj_->Apply(std::move(t));
         if (dedup_) {
           std::string key = TupleToString(projected);
+          int64_t key_bytes =
+              static_cast<int64_t>(sizeof(std::string) + key.capacity() + 48);
           if (!seen_.insert(std::move(key)).second) continue;
+          added_bytes += key_bytes;
         }
         out.Add(std::move(projected));
       }
+      // The dedup set grows monotonically; charge its growth per input batch
+      // so the tracker sees it without per-tuple atomics.
+      if (added_bytes > 0) ULOAD_RETURN_NOT_OK(ChargeMemory(added_bytes));
       if (!out.empty()) return std::optional<TupleBatch>(std::move(out));
     }
   }
@@ -415,15 +512,22 @@ class SortPhys : public PhysBase {
 
  protected:
   Status OpenImpl() override {
-    ULOAD_RETURN_NOT_OK(input_->Open());
     buffer_ = NestedRelation(schema_);
+    ReleaseMemory(held_bytes());
+    ULOAD_RETURN_NOT_OK(input_->Open());
+    input_open_ = true;
     for (;;) {
+      // Materialization loop: check cancellation and charge the buffered
+      // bytes once per consumed batch.
+      ULOAD_RETURN_NOT_OK(CheckControl());
       ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b,
                              input_->NextBatch());
       if (!b.has_value()) break;
+      ULOAD_RETURN_NOT_OK(ChargeMemory(b->ApproxBytes()));
       for (Tuple& t : b->tuples()) buffer_.Add(std::move(t));
     }
     input_->Close();
+    input_open_ = false;
     ULOAD_RETURN_NOT_OK(SortBy(order_, &buffer_));
     pos_ = 0;
     return Status::Ok();
@@ -434,11 +538,22 @@ class SortPhys : public PhysBase {
     while (pos_ < buffer_.size() && !out.full()) out.Add(buffer_.tuple(pos_++));
     return std::optional<TupleBatch>(std::move(out));
   }
+  void CloseImpl() override {
+    // Normally the input is already closed at the end of materialization;
+    // an aborted Open() (cancel, budget, injected fault) leaves it open and
+    // this close is what drains/joins any exchange below.
+    if (input_open_) {
+      input_->Close();
+      input_open_ = false;
+    }
+    buffer_ = NestedRelation(schema_);
+  }
 
  private:
   PhysicalPtr input_;
   NestedRelation buffer_;
   int64_t pos_ = 0;
+  bool input_open_ = false;
 };
 
 // --- Streaming StackTreeDesc_φ (inner structural joins) ----------------------
@@ -501,6 +616,10 @@ class StackTreeDescPhys : public PhysBase {
         pending_.pop_front();
         continue;
       }
+      // A selective join can consume many descendants before producing a
+      // tuple; tick the cancellation check so latency stays bounded even
+      // when the children hand over large prefetched batches.
+      if ((++ticks_ & 1023) == 0) ULOAD_RETURN_NOT_OK(CheckControl());
       ULOAD_ASSIGN_OR_RETURN(std::optional<Tuple> d, desc_->NextTuple());
       if (!d.has_value()) break;
       const AtomicValue& did = d->fields[desc_idx_].atom();
@@ -554,6 +673,7 @@ class StackTreeDescPhys : public PhysBase {
   std::vector<Tuple> stack_;
   std::deque<Tuple> pending_;
   std::optional<Tuple> next_anc_;
+  uint64_t ticks_ = 0;
 };
 
 // --- Streaming StackTreeAnc_φ (semi / outer / nest structural joins) ---------
@@ -627,6 +747,8 @@ class StackTreeVariantPhys : public PhysBase {
         continue;
       }
       if (desc_done_ && inflight_.empty() && !next_anc_.has_value()) break;
+      // Same bounded-latency cancellation tick as StackTreeDesc_φ.
+      if ((++ticks_ & 1023) == 0) ULOAD_RETURN_NOT_OK(CheckControl());
       ULOAD_RETURN_NOT_OK(Advance());
     }
     if (out.empty()) return std::optional<TupleBatch>();
@@ -635,6 +757,9 @@ class StackTreeVariantPhys : public PhysBase {
   void CloseImpl() override {
     anc_->Close();
     desc_->Close();
+    inflight_.clear();
+    stack_.clear();
+    pending_.clear();
   }
 
  private:
@@ -687,17 +812,23 @@ class StackTreeVariantPhys : public PhysBase {
       stack_.back()->done = true;
       stack_.pop_back();
     }
+    int64_t d_bytes = -1;
     for (AncState* a : stack_) {
       const StructuralId& asid = a->t.fields[anc_idx_].atom().sid();
       bool match = axis_ == Axis::kChild ? IsParent(asid, did.sid())
                                          : IsAncestor(asid, did.sid());
-      if (match) a->matches.push_back(*d);
+      if (match) {
+        if (d_bytes < 0) d_bytes = ApproxTupleBytes(*d);
+        ULOAD_RETURN_NOT_OK(TrackGrow(d_bytes));
+        a->matches.push_back(*d);
+      }
     }
     Release();
     return Status::Ok();
   }
 
   Status PushAncestor(Tuple t) {
+    ULOAD_RETURN_NOT_OK(TrackGrow(ApproxTupleBytes(t)));
     const AtomicValue& aid = t.fields[anc_idx_].atom();
     if (aid.is_null()) {
       // Null ids match nothing and need no stack entry; completed at once.
@@ -724,6 +855,9 @@ class StackTreeVariantPhys : public PhysBase {
   void Release() {
     while (!inflight_.empty() && inflight_.front().done) {
       AncState& a = inflight_.front();
+      // The nest accumulator hands its contents to the consumer here; its
+      // bytes leave this operator's account.
+      TrackShrink(ApproxTupleBytes(a.t) + ApproxTupleListBytes(a.matches));
       switch (variant_) {
         case JoinVariant::kInner:
           for (Tuple& m : a.matches) {
@@ -770,6 +904,7 @@ class StackTreeVariantPhys : public PhysBase {
   std::deque<Tuple> pending_;
   std::optional<Tuple> next_anc_;
   bool desc_done_ = false;
+  uint64_t ticks_ = 0;
 };
 
 // --- Hash join / generic value join -----------------------------------------
@@ -829,6 +964,7 @@ class ValueJoinPhys : public PhysBase {
     build_.clear();
     hash_.clear();
     pending_.clear();
+    ReleaseMemory(held_bytes());
     ULOAD_ASSIGN_OR_RETURN(AttrPath rp,
                            ResolveAttrPath(*right_->schema(), right_attr_));
     if (rp.size() != 1) {
@@ -841,10 +977,14 @@ class ValueJoinPhys : public PhysBase {
       return Status::NotImplemented("physical join on nested left attr");
     }
     lidx_ = lp[0];
+    right_open_ = true;
     for (;;) {
+      // Hash-build loop: cancellation check + budget charge per batch.
+      ULOAD_RETURN_NOT_OK(CheckControl());
       ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b,
                              right_->NextBatch());
       if (!b.has_value()) break;
+      ULOAD_RETURN_NOT_OK(ChargeMemory(b->ApproxBytes()));
       for (Tuple& t : b->tuples()) {
         if (cmp_ == Comparator::kEq) {
           const AtomicValue& v = t.fields[ridx_].atom();
@@ -854,6 +994,7 @@ class ValueJoinPhys : public PhysBase {
       }
     }
     right_->Close();
+    right_open_ = false;
     return Status::Ok();
   }
   Result<std::optional<TupleBatch>> NextBatchImpl() override {
@@ -885,7 +1026,17 @@ class ValueJoinPhys : public PhysBase {
     if (out.empty()) return std::optional<TupleBatch>();
     return std::optional<TupleBatch>(std::move(out));
   }
-  void CloseImpl() override { left_->Close(); }
+  void CloseImpl() override {
+    left_->Close();
+    // Open only when an aborted build left it open (see Sort_φ's CloseImpl).
+    if (right_open_) {
+      right_->Close();
+      right_open_ = false;
+    }
+    build_.clear();
+    hash_.clear();
+    pending_.clear();
+  }
 
  private:
   void Emit(const Tuple& l, const std::vector<size_t>& matches) {
@@ -929,6 +1080,7 @@ class ValueJoinPhys : public PhysBase {
   std::vector<Tuple> build_;
   std::unordered_map<std::string, std::vector<size_t>> hash_;
   std::deque<Tuple> pending_;
+  bool right_open_ = false;
 };
 
 // --- Product -----------------------------------------------------------------
@@ -954,13 +1106,19 @@ class ProductPhys : public PhysBase {
     ULOAD_RETURN_NOT_OK(left_->Open());
     ULOAD_RETURN_NOT_OK(right_->Open());
     build_.clear();
+    ReleaseMemory(held_bytes());
+    right_open_ = true;
     for (;;) {
+      // Build loop: cancellation check + budget charge per batch.
+      ULOAD_RETURN_NOT_OK(CheckControl());
       ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b,
                              right_->NextBatch());
       if (!b.has_value()) break;
+      ULOAD_RETURN_NOT_OK(ChargeMemory(b->ApproxBytes()));
       for (Tuple& t : b->tuples()) build_.push_back(std::move(t));
     }
     right_->Close();
+    right_open_ = false;
     cur_.reset();
     rpos_ = build_.size();
     return Status::Ok();
@@ -979,7 +1137,14 @@ class ProductPhys : public PhysBase {
     if (out.empty()) return std::optional<TupleBatch>();
     return std::optional<TupleBatch>(std::move(out));
   }
-  void CloseImpl() override { left_->Close(); }
+  void CloseImpl() override {
+    left_->Close();
+    if (right_open_) {
+      right_->Close();
+      right_open_ = false;
+    }
+    build_.clear();
+  }
 
  private:
   PhysicalPtr left_;
@@ -987,6 +1152,7 @@ class ProductPhys : public PhysBase {
   std::vector<Tuple> build_;
   std::optional<Tuple> cur_;
   size_t rpos_ = 0;
+  bool right_open_ = false;
 };
 
 // --- Union -------------------------------------------------------------------
@@ -1691,14 +1857,23 @@ Result<PhysicalPtr> CompilePhysicalPlan(const PlanPtr& plan,
 }
 
 Result<NestedRelation> ExecutePhysical(PhysicalOperator* root) {
-  ULOAD_RETURN_NOT_OK(root->Open());
   NestedRelation out(root->schema());
-  for (;;) {
-    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, root->NextBatch());
-    if (!b.has_value()) break;
-    for (Tuple& t : b->tuples()) out.Add(std::move(t));
+  Status s = root->Open();
+  if (s.ok()) {
+    for (;;) {
+      Result<std::optional<TupleBatch>> b = root->NextBatch();
+      if (!b.ok()) {
+        s = b.status();
+        break;
+      }
+      if (!b->has_value()) break;
+      for (Tuple& t : (*b)->tuples()) out.Add(std::move(t));
+    }
   }
+  // Close unconditionally: the error path is exactly where exchange workers
+  // must be joined, queues drained, and budget charges returned.
   root->Close();
+  ULOAD_RETURN_NOT_OK(s);
   return out;
 }
 

@@ -161,6 +161,30 @@ class PhysicalOperator {
   virtual Result<std::optional<TupleBatch>> NextBatchImpl() = 0;
   virtual void CloseImpl() = 0;
 
+  // --- Resource governor hooks (exec/query_control.h, memory_tracker.h) ---
+  // Open()/NextBatch() check cancellation/deadline at every call; an
+  // operator whose *implementation* loops long without returning (Sort_φ
+  // materialization, hash/product builds, the StackTree deques, the k-way
+  // exchange merge) additionally calls CheckControl() per consumed batch.
+  Status CheckControl();
+
+  // Budgeted accounting of operator-held memory (sort buffers, hash tables,
+  // nest accumulators, dedup sets). Charges go to the context's tracker
+  // hierarchy and count toward this operator's peak_bytes metric; Close()
+  // releases whatever is still held, so an aborted query always returns the
+  // tracker to zero. ChargeMemory fails with kResourceExhausted when a
+  // budget level would be exceeded, leaving the accounting unchanged.
+  Status ChargeMemory(int64_t bytes);
+  void ReleaseMemory(int64_t bytes);
+  int64_t held_bytes() const { return held_bytes_; }
+
+  // Quantum-buffered variants for streaming state that grows and shrinks
+  // tuple-wise (the StackTree in-flight/pending deques): deltas accumulate
+  // locally and hit the shared tracker only once per ±64 KiB, so per-tuple
+  // accounting costs no per-tuple atomics. Close() reconciles the remainder.
+  Status TrackGrow(int64_t bytes);
+  void TrackShrink(int64_t bytes);
+
   // Bind() hook for the subtree below this operator; the default binds
   // children() to the same context. Exchange overrides it to bind each
   // worker pipeline to a private per-worker counter set.
@@ -172,11 +196,24 @@ class PhysicalOperator {
   TupleBatch NewBatch() const { return TupleBatch(schema(), batch_size_); }
 
  private:
+  void ReleaseAllMemory();
+
   size_t batch_size_ = TupleBatch::kDefaultCapacity;
   // Debug-mode batch validation (verify/batch_validator.h): every produced
   // batch is cross-checked against schema(). Adopted from the ExecContext at
   // Bind(); unbound operators use the build's compile-time default.
   bool validate_batches_ = kValidateBatchesDefault;
+  // Governor state adopted at Bind(): the query's cancellation handle, the
+  // optional budget tracker, and the fault spec (non-null only when
+  // injection is enabled). Unbound operators run ungoverned.
+  QueryControl* control_ = nullptr;
+  MemoryTracker* memory_ = nullptr;
+  const FaultSpec* fault_ = nullptr;
+  int op_ordinal_ = -1;     // registration ordinal (fault-point address)
+  int64_t open_calls_ = 0;  // per-instance call counters for fault matching
+  int64_t next_calls_ = 0;
+  int64_t held_bytes_ = 0;      // memory currently charged by this operator
+  int64_t deferred_bytes_ = 0;  // TrackGrow/TrackShrink local accumulator
   OperatorMetrics local_metrics_;
   OperatorMetrics* metrics_ = &local_metrics_;
   // NextTuple() adapter state.

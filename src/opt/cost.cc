@@ -71,6 +71,23 @@ size_t ChooseWorkerCount(int64_t rows, size_t budget) {
   return std::min(workers, static_cast<size_t>(rows));
 }
 
+size_t ExchangeQueueCapacity(size_t workers, bool per_worker,
+                             int64_t budget_bytes, int64_t batch_bytes) {
+  if (workers == 0) workers = 1;
+  // Ungoverned defaults: 2 in-flight batches per worker for the shared
+  // arrival-order queue, 4 per SPSC merge queue (the merge consumes
+  // unevenly, so each worker gets more slack).
+  size_t cap = per_worker ? 4 : 2 * workers;
+  if (budget_bytes <= 0) return cap;
+  if (batch_bytes <= 0) batch_bytes = 1;
+  // Let at most ~half the budget sit in queue slots across all workers.
+  int64_t total_slots = (budget_bytes / 2) / batch_bytes;
+  int64_t share = per_worker ? total_slots / static_cast<int64_t>(workers)
+                             : total_slots;
+  if (share < 1) share = 1;
+  return std::min(cap, static_cast<size_t>(share));
+}
+
 double IterationOverhead(double card, const CostModel& model) {
   double tuples = std::max(card, 0.0);
   double batches =

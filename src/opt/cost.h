@@ -65,6 +65,17 @@ double IterationOverhead(double card, const CostModel& model);
 // physical compiler and the cost estimator share this policy.
 size_t ChooseWorkerCount(int64_t rows, size_t budget);
 
+// Capacity (in batches) of the bounded queue(s) between `workers` exchange
+// producers and the collector. `per_worker` selects the SPSC queues of the
+// k-way merge (capacity per worker) vs. the shared MPSC queue of the
+// arrival-order collector (capacity total). A per-query memory budget
+// (`budget_bytes` > 0) shrinks the queues so governed queries buffer less
+// in flight: roughly half the budget is allowed to sit in queue slots,
+// assuming `batch_bytes` per slot, clamped to [1, ungoverned capacity].
+// The exchange collectors and the cost estimator share this policy.
+size_t ExchangeQueueCapacity(size_t workers, bool per_worker,
+                             int64_t budget_bytes, int64_t batch_bytes);
+
 // Estimated cost of a plan whose leaf scans are the named patterns.
 // `view_cards` supplies per-relation base cardinalities (e.g. from the
 // catalog); missing names fall back to `default_card`.

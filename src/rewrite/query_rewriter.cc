@@ -112,17 +112,29 @@ Result<std::string> QueryRewriter::Execute(const QueryRewriteResult& r,
   }
   ULOAD_ASSIGN_OR_RETURN(PhysicalPtr root,
                          CompilePhysicalPlan(plan, ctx, exec));
-  ULOAD_RETURN_NOT_OK(root->Open());
   std::string out;
-  for (;;) {
-    ULOAD_ASSIGN_OR_RETURN(std::optional<TupleBatch> b, root->NextBatch());
-    if (!b.has_value()) break;
-    for (const Tuple& t : b->tuples()) {
-      ULOAD_RETURN_NOT_OK(ApplyTemplateToTuple(r.translation.templ,
-                                               *root->schema(), t, &out));
+  Status s = root->Open();
+  if (s.ok()) {
+    for (;;) {
+      Result<std::optional<TupleBatch>> b = root->NextBatch();
+      if (!b.ok()) {
+        s = b.status();
+        break;
+      }
+      if (!b->has_value()) break;
+      for (const Tuple& t : (*b)->tuples()) {
+        s = ApplyTemplateToTuple(r.translation.templ, *root->schema(), t,
+                                 &out);
+        if (!s.ok()) break;
+      }
+      if (!s.ok()) break;
     }
   }
+  // Close unconditionally: an aborted query (cancel, deadline, budget,
+  // injected fault) still joins its exchange workers, drains the queues and
+  // returns every budget charge before the error surfaces.
   root->Close();
+  ULOAD_RETURN_NOT_OK(s);
   return out;
 }
 

@@ -507,8 +507,111 @@ class Search {
                           std::vector<Rewriting>* results,
                           std::set<std::string>* seen_plans) {
     if (stats_ != nullptr) stats_->adaptations_tried++;
+    bool emitted = false;
+    ULOAD_RETURN_NOT_OK(FinishVariant(base, assign, /*compensate_tags=*/false,
+                                      results, seen_plans, &emitted));
+    if (emitted) return Status::Ok();
+    // The plain candidate is not equivalent to the query — typically because
+    // a wildcard store (e.g. StructuralIdModel's sid_main) matches nodes the
+    // query's label restrictions exclude. Retry with compensating tag
+    // selections pushed onto stored tag columns.
+    return FinishVariant(base, assign, /*compensate_tags=*/true, results,
+                         seen_plans, &emitted);
+  }
+
+  // Compensating tag selections (§5.3 adaptations, label analog of the value
+  // compensation below): every query label restriction the candidate pattern
+  // does not already enforce is bound onto a wildcard candidate node that
+  // stores tags — the pattern node gains the label, the plan gains
+  // Select[col_Tag = label]. Returns false when some restriction cannot be
+  // enforced anywhere (the candidate stays non-equivalent and is dropped).
+  bool CompensateTags(const std::vector<int>& assign, Candidate* c) const {
+    std::vector<XamNodeId> cand_returns = c->pattern.ReturnNodes();
+    std::vector<std::vector<SummaryNodeId>> cand_ann =
+        PathAnnotations(c->pattern, summary_);
+    auto intersects = [](const std::vector<SummaryNodeId>& a,
+                         const std::vector<SummaryNodeId>& b) {
+      for (SummaryNodeId s : a) {
+        if (std::find(b.begin(), b.end(), s) != b.end()) return true;
+      }
+      return false;
+    };
+    auto covers = [](const std::vector<SummaryNodeId>& cand,
+                     const std::vector<SummaryNodeId>& query) {
+      for (SummaryNodeId s : query) {
+        if (std::find(cand.begin(), cand.end(), s) == cand.end()) return false;
+      }
+      return true;
+    };
+    std::vector<bool> used(c->pattern.size(), false);
+    auto enforce = [&](XamNodeId qn, XamNodeId cn) {
+      used[cn] = true;
+      c->pattern.node(cn).tag_value = query_->node(qn).tag_value;
+      c->plan = LogicalPlan::Select(
+          c->plan,
+          Predicate::CompareConst(
+              c->PlanColumn(PatternAttr(c->pattern, cn, "_Tag")),
+              Comparator::kEq,
+              AtomicValue::String(query_->node(qn).tag_value)));
+    };
+    // Assigned return pairs first: the query return node's restriction lands
+    // on the candidate node chosen to play that role.
+    std::vector<bool> handled(query_->size(), false);
+    for (size_t qi = 0; qi < assign.size(); ++qi) {
+      XamNodeId qn = query_returns_[qi];
+      XamNodeId cn = cand_returns[assign[qi]];
+      const XamNode& qnode = query_->node(qn);
+      if (qnode.tag_value.empty() || qnode.is_attribute) continue;
+      const XamNode& cnode = c->pattern.node(cn);
+      if (cnode.tag_value == qnode.tag_value) {
+        handled[qn] = true;
+        continue;
+      }
+      if (!cnode.tag_value.empty() || !cnode.stores_tag) continue;
+      if (!covers(cand_ann[cn], query_ann_[qn])) continue;
+      enforce(qn, cn);
+      handled[qn] = true;
+    }
+    for (XamNodeId qn = 1; qn < query_->size(); ++qn) {
+      const std::string& tag = query_->node(qn).tag_value;
+      if (tag.empty() || query_->node(qn).is_attribute || handled[qn]) {
+        continue;
+      }
+      // Already enforced: some candidate node carries the same label on an
+      // annotation that reaches the query node's paths.
+      bool enforced = false;
+      for (XamNodeId cn = 1; cn < c->pattern.size(); ++cn) {
+        if (c->pattern.node(cn).tag_value != tag) continue;
+        if (intersects(cand_ann[cn], query_ann_[qn])) {
+          enforced = true;
+          break;
+        }
+      }
+      if (enforced) continue;
+      XamNodeId target = kXamRoot;  // sentinel: no target yet
+      for (XamNodeId cn = 1; cn < c->pattern.size(); ++cn) {
+        const XamNode& n = c->pattern.node(cn);
+        if (used[cn] || !n.tag_value.empty() || !n.stores_tag ||
+            n.is_attribute) {
+          continue;
+        }
+        if (c->pattern.NestingDepth(cn) != 0) continue;
+        if (!covers(cand_ann[cn], query_ann_[qn])) continue;
+        target = cn;
+        break;
+      }
+      if (target == kXamRoot) return false;
+      enforce(qn, target);
+    }
+    return true;
+  }
+
+  Status FinishVariant(const Candidate& base, const std::vector<int>& assign,
+                       bool compensate_tags, std::vector<Rewriting>* results,
+                       std::set<std::string>* seen_plans, bool* emitted) {
     Candidate c = base;
     std::vector<XamNodeId> cand_returns = c.pattern.ReturnNodes();
+    if (compensate_tags && !CompensateTags(assign, &c)) return Status::Ok();
 
     // 1. Compensating value selections: query formulas absent from the
     //    candidate are enforced on stored values of the matching node when
@@ -606,6 +709,7 @@ class Search {
     r.views_used = c.views;
     r.operator_count = c.plan->OperatorCount();
     results->push_back(std::move(r));
+    *emitted = true;
     return Status::Ok();
   }
 

@@ -130,6 +130,19 @@ class Parser {
   }
 
   Status ParseElement(Document* doc, NodeIndex parent) {
+    if (depth_ >= kMaxXmlParseDepth) {
+      return Status::ParseError(
+          "element nesting exceeds maximum depth " +
+          std::to_string(kMaxXmlParseDepth) + " at offset " +
+          std::to_string(pos_));
+    }
+    ++depth_;
+    Status s = ParseElementAtDepth(doc, parent);
+    --depth_;
+    return s;
+  }
+
+  Status ParseElementAtDepth(Document* doc, NodeIndex parent) {
     if (AtEnd() || Peek() != '<') {
       return Status::ParseError("expected '<' at offset " +
                                 std::to_string(pos_));
@@ -239,6 +252,7 @@ class Parser {
 
   std::string_view input_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

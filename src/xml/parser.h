@@ -5,15 +5,26 @@
 // instructions and a DOCTYPE prolog (skipped), and the five predefined
 // entities plus numeric character references. Whitespace-only text nodes
 // between elements are dropped (data-centric convention).
+//
+// Robustness contract: ParseXml never crashes — truncated, garbage, or
+// adversarial input always comes back as a ParseError Status. Element
+// nesting is recursive-descent, so depth is capped at kMaxXmlParseDepth to
+// keep hostile documents from exhausting the call stack.
 #ifndef ULOAD_XML_PARSER_H_
 #define ULOAD_XML_PARSER_H_
 
+#include <cstddef>
 #include <string_view>
 
 #include "common/status.h"
 #include "xml/document.h"
 
 namespace uload {
+
+// Maximum element nesting depth ParseXml accepts; one level per recursive
+// ParseElement frame, far above any real data-centric corpus and far below
+// what would threaten the call stack.
+inline constexpr size_t kMaxXmlParseDepth = 256;
 
 Result<Document> ParseXml(std::string_view input);
 

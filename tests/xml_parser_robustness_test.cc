@@ -1,0 +1,145 @@
+// Parser hardening corpus: the ingestion edge of the engine must uphold the
+// same failure contract as the executor (DESIGN.md §8) — malformed input of
+// any kind comes back as a clean ParseError Status, never a crash, hang, or
+// stack overflow. The corpus covers truncation at every byte boundary,
+// garbage and binary bytes, unterminated constructs, mismatched tags,
+// entity edge cases, and nesting past the explicit recursion depth limit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/parser.h"
+
+namespace uload {
+namespace {
+
+// A representative well-formed document exercising every construct the
+// parser supports.
+const char* kGood =
+    "<?xml version=\"1.0\"?>"
+    "<!DOCTYPE bib [<!ELEMENT bib ANY>]>"
+    "<bib id=\"b1\">"
+    "<!-- a comment -->"
+    "<book year='1999' title=\"Data &amp; the Web\">"
+    "<author>Abiteboul &lt;Serge&gt;</author>"
+    "<![CDATA[raw <chars> &amp; kept]]>"
+    "<?pi target?>"
+    "text &#65;&#x42; tail"
+    "</book>"
+    "</bib>";
+
+TEST(XmlParserRobustness, GoodDocumentStillParses) {
+  auto d = ParseXml(kGood);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+}
+
+TEST(XmlParserRobustness, TruncationAtEveryByteIsAStatusNeverACrash) {
+  std::string good(kGood);
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto d = ParseXml(std::string_view(good).substr(0, len));
+    // Any prefix is either a (rare) complete document or a ParseError; the
+    // assertion is simply that we got a Status back at all.
+    if (!d.ok()) {
+      EXPECT_EQ(d.status().code(), StatusCode::kParseError)
+          << "len=" << len << ": " << d.status().ToString();
+    }
+  }
+}
+
+TEST(XmlParserRobustness, GarbageInputsReturnParseError) {
+  const std::vector<std::string> garbage = {
+      "",
+      " \t\n ",
+      "not xml at all",
+      "<",
+      "<>",
+      "</close-before-open>",
+      "<a></b>",
+      "<a attr></a>",
+      "<a attr=></a>",
+      "<a attr=unquoted></a>",
+      "<a attr=\"unterminated></a>",
+      "<a><!-- unterminated comment</a>",
+      "<a><![CDATA[unterminated</a>",
+      "<a><?pi unterminated</a>",
+      "<a>text",
+      "<a/><a/>",                   // two roots
+      "<a></a>trailing<garbage/>",  // trailing content
+      "<1tag></1tag>",              // name can't start with a digit
+      "<a b=\"v\" b2='w\"></a>",    // quote mismatch
+      "<?xml version=\"1.0\"?>",    // prolog only, no root
+      "<!DOCTYPE unterminated [",
+  };
+  for (const std::string& g : garbage) {
+    auto d = ParseXml(g);
+    EXPECT_FALSE(d.ok()) << "input: " << g;
+    if (!d.ok()) {
+      EXPECT_EQ(d.status().code(), StatusCode::kParseError) << "input: " << g;
+    }
+  }
+}
+
+TEST(XmlParserRobustness, BinaryBytesNeverCrash) {
+  // Deterministic xorshift stream of raw bytes, wrapped and unwrapped.
+  uint64_t s = 0x9e3779b97f4a7c15ull;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return static_cast<char>(s & 0xff);
+  };
+  for (int round = 0; round < 64; ++round) {
+    std::string noise;
+    for (int i = 0; i < 200; ++i) noise += next();
+    (void)ParseXml(noise);
+    (void)ParseXml("<a>" + noise + "</a>");
+    (void)ParseXml("<a b=\"" + noise + "\"/>");
+  }
+}
+
+TEST(XmlParserRobustness, EntityEdgeCasesDegradeGracefully) {
+  // Unknown entities kept literally, oversized/unterminated references
+  // treated as text, out-of-range numeric references degraded — never UB.
+  auto d = ParseXml(
+      "<a>&unknown; &amp &#xFFFFFFFFFF; &#-5; &#x110000; &; "
+      "&waytoolongentityname;</a>");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+}
+
+TEST(XmlParserRobustness, NestingBelowTheLimitParses) {
+  size_t depth = kMaxXmlParseDepth - 1;
+  std::string doc;
+  for (size_t i = 0; i < depth; ++i) doc += "<d>";
+  doc += "x";
+  for (size_t i = 0; i < depth; ++i) doc += "</d>";
+  auto d = ParseXml(doc);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+}
+
+TEST(XmlParserRobustness, NestingPastTheLimitIsAParseErrorNotAStackOverflow) {
+  // Well past the limit: without the explicit cap this would recurse ~100k
+  // frames deep. The cap must convert it into a ParseError.
+  size_t depth = 100'000;
+  std::string doc;
+  for (size_t i = 0; i < depth; ++i) doc += "<d>";
+  // No closing tags needed: the parser must refuse before consuming them.
+  auto d = ParseXml(doc);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kParseError);
+  EXPECT_NE(d.status().message().find("depth"), std::string::npos)
+      << d.status().ToString();
+}
+
+TEST(XmlParserRobustness, UnbalancedCloseTagsAtDepthReturnCleanly) {
+  std::string doc;
+  for (size_t i = 0; i < 64; ++i) doc += "<d>";
+  doc += "</mismatch>";
+  auto d = ParseXml(doc);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace uload
