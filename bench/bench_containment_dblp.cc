@@ -48,10 +48,8 @@ Totals RunConfig(const PathSummary& s, const PatternGenOptions& base, int n,
 
 int main(int argc, char** argv) {
   using namespace uload;
-  Document dblp = GenerateDblp({2000, 7});
-  PathSummary sd = PathSummary::Build(&dblp);
-  Document xm = GenerateXMark(XMarkScale(0.5));
-  PathSummary sx = PathSummary::Build(&xm);
+  const PathSummary& sd = bench::SharedDblp(2000).summary;
+  const PathSummary& sx = bench::SharedXMark(0.5).summary;
   std::printf("DBLP summary: %lld nodes; XMark summary: %lld nodes\n",
               static_cast<long long>(sd.size()),
               static_cast<long long>(sx.size()));

@@ -17,7 +17,7 @@
 namespace uload {
 namespace {
 
-PathSummary* g_summary = nullptr;
+const PathSummary* g_summary = nullptr;
 
 void XMarkQueryTable() {
   bench::Header("Fig. 4.14 (top) — XMark query patterns, p ⊆_S p");
@@ -119,8 +119,7 @@ BENCHMARK(BM_SelfContainment)->Arg(0)->Arg(6)->Arg(14)->Arg(19);
 }  // namespace uload
 
 int main(int argc, char** argv) {
-  uload::Document doc = uload::GenerateXMark(uload::XMarkScale(0.5));
-  uload::PathSummary summary = uload::PathSummary::Build(&doc);
+  const uload::PathSummary& summary = uload::bench::SharedXMark(0.5).summary;
   uload::g_summary = &summary;
   std::printf("XMark summary: %lld nodes\n",
               static_cast<long long>(summary.size()));

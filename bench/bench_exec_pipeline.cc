@@ -16,14 +16,14 @@ namespace uload {
 namespace {
 
 struct Pipeline {
-  Document doc;
+  const Document& doc;
   NestedRelation people;
   NestedRelation names;
   NestedRelation emails;
   EvalContext ctx;
   PlanPtr plan;
 
-  explicit Pipeline(double scale) : doc(GenerateXMark(XMarkScale(scale))) {
+  explicit Pipeline(double scale) : doc(bench::SharedXMark(scale).doc) {
     people = TagCollection(doc, "person", {"p", false, false, false});
     names = TagCollection(doc, "name", {"n", false, true, false});
     emails = TagCollection(doc, "emailaddress", {"e", false, true, false});

@@ -56,9 +56,7 @@ void Sweep(const PathSummary& summary) {
 }  // namespace uload
 
 int main(int argc, char** argv) {
-  uload::Document doc = uload::GenerateXMark(uload::XMarkScale(0.3));
-  uload::PathSummary summary = uload::PathSummary::Build(&doc);
-  uload::Sweep(summary);
+  uload::Sweep(uload::bench::SharedXMark(0.3).summary);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -43,8 +43,7 @@ double AvgPairTime(const PathSummary& s, int optional_percent, int nodes,
 
 int main(int argc, char** argv) {
   using namespace uload;
-  Document doc = GenerateXMark(XMarkScale(0.5));
-  PathSummary s = PathSummary::Build(&doc);
+  const PathSummary& s = bench::SharedXMark(0.5).summary;
   bench::Header("§4.6 — optional-edge cost in containment (avg us per test)");
   std::printf("%3s %14s %14s %14s %8s\n", "n", "0% optional", "50% optional",
               "100% optional", "50%/0%");

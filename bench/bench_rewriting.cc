@@ -13,8 +13,8 @@
 namespace uload {
 namespace {
 
-Document* g_doc = nullptr;
-PathSummary* g_summary = nullptr;
+const Document* g_doc = nullptr;
+const PathSummary* g_summary = nullptr;
 
 void ViewsSweep() {
   std::vector<NamedXam> all_views = PathPartitionedModel(*g_summary);
@@ -99,12 +99,11 @@ BENCHMARK(BM_RewriteQ1);
 }  // namespace uload
 
 int main(int argc, char** argv) {
-  uload::Document doc = uload::GenerateXMark(uload::XMarkScale(0.3));
-  uload::PathSummary summary = uload::PathSummary::Build(&doc);
-  uload::g_doc = &doc;
-  uload::g_summary = &summary;
+  const uload::bench::Workload& w = uload::bench::SharedXMark(0.3);
+  uload::g_doc = &w.doc;
+  uload::g_summary = &w.summary;
   std::printf("XMark summary: %lld nodes\n",
-              static_cast<long long>(summary.size()));
+              static_cast<long long>(w.summary.size()));
   uload::ViewsSweep();
   uload::SizeSweep();
   benchmark::Initialize(&argc, argv);

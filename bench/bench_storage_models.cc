@@ -12,6 +12,7 @@
 #include "eval/xam_eval.h"
 #include "rewrite/rewriter.h"
 #include "storage/catalog.h"
+#include "storage/columnar/columnar_document.h"
 #include "xam/xam_parser.h"
 #include "xml/document.h"
 
@@ -164,6 +165,52 @@ int main(int argc, char** argv) {
 
   bench::Header("q'' — selective year/title query");
   for (const auto& m : models) RunQuery("q''", qsel, m, doc, summary);
+
+  // Storage footprint per backend (E12): the same XAM set installed over
+  // the pointer tree (every view a materialized NestedRelation) and over
+  // the column store (qualifying views virtualized down to a delta+varint
+  // row-id list). data/index bytes come from the views themselves; the
+  // columnar document's own columns+dictionaries+chunk index are shared by
+  // all its views and reported once.
+  bench::Header("storage footprint: materialized views vs virtual extents");
+  ColumnarDocument col = ColumnarDocument::FromDocument(doc);
+  auto cb = col.ApproximateBytesBreakdown();
+  std::printf("columnar store: columns=%lld dict=%lld chunk-index=%lld "
+              "(document %lld bytes as pointer tree)\n",
+              static_cast<long long>(cb.column_bytes),
+              static_cast<long long>(cb.dict_bytes),
+              static_cast<long long>(cb.chunk_index_bytes),
+              static_cast<long long>(doc.ApproximateBytes()));
+  std::printf("  %-18s %-9s %10s %10s %10s %12s\n", "model", "backend",
+              "data", "index", "rowsets", "virtualized");
+  for (const auto& m : models) {
+    struct Leg {
+      const char* name;
+      const DocumentStore* store;
+    } legs[] = {{"pointer", &doc}, {"columnar", &col}};
+    for (const Leg& leg : legs) {
+      Catalog catalog;
+      bool ok = true;
+      for (const NamedXam& v : m.views) {
+        if (!catalog.AddXam(v.name, v.xam, *leg.store).ok()) ok = false;
+      }
+      if (!ok) continue;
+      MaterializedView::StorageBytes total;
+      int virtualized = 0;
+      for (const auto& view : catalog.views()) {
+        auto b = view->ApproximateBytesBreakdown();
+        total.data_bytes += b.data_bytes;
+        total.index_bytes += b.index_bytes;
+        total.rowset_bytes += b.rowset_bytes;
+        if (b.virtualized) ++virtualized;
+      }
+      std::printf("  %-18s %-9s %10lld %10lld %10lld %9d/%zu\n", m.name,
+                  leg.name, static_cast<long long>(total.data_bytes),
+                  static_cast<long long>(total.index_bytes),
+                  static_cast<long long>(total.rowset_bytes), virtualized,
+                  catalog.views().size());
+    }
+  }
 
   std::printf(
       "\nExpected shape (thesis Ch.2): the inlined store answers q with the\n"

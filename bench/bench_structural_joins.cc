@@ -3,6 +3,7 @@
 // nested loop is quadratic.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "exec/structural_join.h"
 #include "workload/xmark.h"
 
@@ -17,7 +18,7 @@ struct Inputs {
 // Ancestor side: item elements; descendant side: all their keyword
 // descendants (both in document order).
 Inputs MakeInputs(double scale) {
-  Document doc = GenerateXMark(XMarkScale(scale));
+  const Document& doc = bench::SharedXMark(scale).doc;
   Inputs in;
   for (NodeIndex i = 1; i < doc.size(); ++i) {
     const Node& n = doc.node(i);
@@ -61,7 +62,7 @@ void BM_NestedLoopJoin(benchmark::State& state) {
 BENCHMARK(BM_NestedLoopJoin)->Arg(2)->Arg(10)->Arg(40);
 
 void BM_ParentChildStackTree(benchmark::State& state) {
-  Document doc = GenerateXMark(XMarkScale(1.0));
+  const Document& doc = bench::SharedXMark(1.0).doc;
   std::vector<StructuralId> parents;
   std::vector<StructuralId> children;
   for (NodeIndex i = 1; i < doc.size(); ++i) {
@@ -91,13 +92,13 @@ namespace uload {
 namespace {
 
 struct PlanFixture {
-  Document doc;
+  const Document& doc;
   NestedRelation people;
   NestedRelation names;
   EvalContext ctx;
   PlanPtr plan;
 
-  explicit PlanFixture(double scale) : doc(GenerateXMark(XMarkScale(scale))) {
+  explicit PlanFixture(double scale) : doc(bench::SharedXMark(scale).doc) {
     people = TagCollection(doc, "person", {"p", false, false, false});
     names = TagCollection(doc, "name", {"n", false, true, false});
     ctx.relations = {{"people", &people}, {"names", &names}};

@@ -7,7 +7,13 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
+
+#include "summary/path_summary.h"
+#include "workload/dblp.h"
+#include "workload/xmark.h"
 
 namespace uload::bench {
 
@@ -23,6 +29,41 @@ double AvgMicros(int reps, const Fn& fn) {
 
 inline void Header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Process-wide workload cache: every (generator, parameter) document is
+// built — and summary-annotated — at most once per benchmark process, no
+// matter how many benchmark families or google-benchmark arguments touch
+// it. Generating XMark at scale 1+ costs seconds; before this cache each
+// family rebuilt its own copy of the same document. Cached workloads are
+// shared read-only; benchmarks that need to mutate a document (or hand one
+// to an Engine) must take a copy.
+struct Workload {
+  Document doc;  // path_id-annotated by the summary build
+  PathSummary summary;
+};
+
+inline const Workload& SharedXMark(double scale) {
+  static auto* cache = new std::map<int64_t, Workload>();
+  int64_t key = static_cast<int64_t>(scale * 1000 + 0.5);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, Workload()).first;
+    it->second.doc = GenerateXMark(XMarkScale(scale));
+    it->second.summary = PathSummary::Build(&it->second.doc);
+  }
+  return it->second;
+}
+
+inline const Workload& SharedDblp(int records, uint32_t seed = 7) {
+  static auto* cache = new std::map<std::pair<int, uint32_t>, Workload>();
+  auto it = cache->find({records, seed});
+  if (it == cache->end()) {
+    it = cache->emplace(std::make_pair(records, seed), Workload()).first;
+    it->second.doc = GenerateDblp({records, seed});
+    it->second.summary = PathSummary::Build(&it->second.doc);
+  }
+  return it->second;
 }
 
 }  // namespace uload::bench

@@ -4,6 +4,9 @@
 #   scripts/check.sh fast               # normal configuration only
 #   scripts/check.sh --fault-injection  # fault sweep + governor tests under
 #                                       # ASAN/UBSAN and TSAN only
+#   scripts/check.sh --backend-sweep    # pointer-vs-columnar differential
+#                                       # grid + persisted-format robustness
+#                                       # under ASAN/UBSAN only
 # The lint leg runs clang-tidy (config in .clang-tidy) over src/ against the
 # normal build's compile_commands.json; it is skipped with a notice when
 # clang-tidy is not installed (CI installs it; see .github/workflows/ci.yml).
@@ -15,6 +18,13 @@
 # cancellations, timeouts, and budget exhaustion across the engine corpus:
 # ASAN proves no aborted query leaks, TSAN proves the poison/drain/join
 # teardown of the exchange pool is race-free.
+# The backend-sweep leg (DESIGN.md §9) runs the storage-invariance bar under
+# ASAN/UBSAN: the pointer-vs-columnar differential grid (byte-identical
+# results across backends × batch sizes × thread budgets), the DocumentStore
+# accessor parity + save/load round-trip suite, and the loader robustness
+# corpus (truncations, bit flips, header lies on persisted images). It is
+# single-threaded apart from the grid's thread sweep, which the ASAN build
+# already exercises; no TSAN leg is needed beyond the main matrix.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +37,17 @@ run_config() {
 }
 
 FAULT_FILTER='ExecFaultSweep.*:EngineGovernorTest.*:XmlParserRobustness.*'
+BACKEND_FILTER='BackendDifferential.*:ColumnarStore.*:ColumnarRobustness.*'
+
+if [[ "${1:-}" == "--backend-sweep" ]]; then
+  echo "== backend sweep under ASAN/UBSAN =="
+  cmake -B build-asan -S . -DASAN=ON
+  cmake --build build-asan -j
+  ./build-asan/tests/uload_tests --gtest_filter="$BACKEND_FILTER"
+
+  echo "Backend-sweep checks passed."
+  exit 0
+fi
 
 if [[ "${1:-}" == "--fault-injection" ]]; then
   echo "== fault injection under ASAN/UBSAN =="

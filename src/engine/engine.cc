@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/physical.h"
+#include "storage/columnar/columnar_format.h"
 #include "verify/plan_verifier.h"
 
 namespace uload {
@@ -11,10 +12,61 @@ Engine::Engine(Document doc) : Engine(std::move(doc), Options()) {}
 
 Engine::Engine(Document doc, Options options)
     : doc_(std::move(doc)), options_(options), exec_(options.batch_size) {
+  // Summary first: Build annotates every node's path_id, which the columnar
+  // conversion persists into its chunk index.
   summary_ = PathSummary::Build(&doc_);
+  if (options_.backend == Options::Backend::kColumnar) {
+    columnar_ = ColumnarDocument::FromDocument(doc_);
+    store_ = &columnar_;
+  } else {
+    store_ = &doc_;
+  }
   exec_.set_thread_budget(options_.thread_budget);
   exec_.set_verify_plans(options_.verify);
   engine_memory_.set_limit(options_.engine_memory_limit_bytes);
+}
+
+Engine::Engine(ColumnarDocument store, PathSummary summary, Options options)
+    : columnar_(std::move(store)),
+      store_(&columnar_),
+      summary_(std::move(summary)),
+      options_(options),
+      exec_(options.batch_size) {
+  options_.backend = Options::Backend::kColumnar;
+  exec_.set_thread_budget(options_.thread_budget);
+  exec_.set_verify_plans(options_.verify);
+  engine_memory_.set_limit(options_.engine_memory_limit_bytes);
+}
+
+Result<std::unique_ptr<Engine>> Engine::Load(const std::string& path) {
+  return Load(path, Options());
+}
+
+Result<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
+                                             Options options) {
+  ULOAD_ASSIGN_OR_RETURN(LoadedColumnar lc, LoadColumnar(path));
+  ULOAD_ASSIGN_OR_RETURN(PathSummary summary,
+                         PathSummary::Deserialize(lc.summary_text));
+  // φ must stay within the persisted summary: every chunk's summary node
+  // needs a definition for the storage models built over it.
+  if (lc.document.path_id_limit() > summary.size()) {
+    return Status::ParseError(
+        "columnar image references summary node " +
+        std::to_string(lc.document.path_id_limit() - 1) +
+        " but the persisted summary has only " +
+        std::to_string(summary.size()) + " nodes");
+  }
+  return std::unique_ptr<Engine>(
+      new Engine(std::move(lc.document), std::move(summary), options));
+}
+
+Status Engine::Save(const std::string& path) const {
+  if (const ColumnarDocument* col = columnar_store()) {
+    return SaveColumnar(*col, summary_.Serialize(), path);
+  }
+  // Pointer backend: convert a throwaway columnar image for the write.
+  ColumnarDocument tmp = ColumnarDocument::FromDocument(doc_);
+  return SaveColumnar(tmp, summary_.Serialize(), path);
 }
 
 void Engine::SetOptions(Options options) {
@@ -25,13 +77,13 @@ void Engine::SetOptions(Options options) {
 Status Engine::InstallModel(std::vector<NamedXam> model) {
   catalog_ = Catalog();
   for (NamedXam& v : model) {
-    ULOAD_RETURN_NOT_OK(catalog_.AddXam(v.name, std::move(v.xam), doc_));
+    ULOAD_RETURN_NOT_OK(catalog_.AddXam(v.name, std::move(v.xam), *store_));
   }
   return Status::Ok();
 }
 
 Status Engine::AddView(std::string name, Xam definition) {
-  return catalog_.AddXam(std::move(name), std::move(definition), doc_);
+  return catalog_.AddXam(std::move(name), std::move(definition), *store_);
 }
 
 Result<QueryRewriteResult> Engine::RewriteQuery(
@@ -84,7 +136,7 @@ Result<std::string> Engine::Run(const std::string& query) {
   MemoryTracker query_mem("query", options_.memory_limit_bytes,
                           &engine_memory_);
   std::shared_ptr<QueryControl> control = BeginQuery(&exec, &query_mem);
-  Result<std::string> out = qr.Execute(r, &doc_, &exec);
+  Result<std::string> out = qr.Execute(r, store_, &exec);
   EndQuery(control, exec);
   return out;
 }
@@ -93,7 +145,7 @@ Result<Engine::Explanation> Engine::Explain(const std::string& query) {
   ULOAD_ASSIGN_OR_RETURN(QueryRewriteResult r, RewriteQuery(query));
   QueryRewriter qr(&summary_, &catalog_);
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
-  EvalContext ctx = catalog_.MakeEvalContext(&doc_);
+  EvalContext ctx = catalog_.MakeEvalContext(store_);
   if (options_.verify) {
     ULOAD_ASSIGN_OR_RETURN(SchemaPtr root_schema,
                            VerifyLogicalPlan(*plan, ctx));
@@ -116,7 +168,7 @@ Result<Engine::Explanation> Engine::ExplainAnalyze(const std::string& query) {
   ULOAD_ASSIGN_OR_RETURN(QueryRewriteResult r, RewriteQuery(query));
   QueryRewriter qr(&summary_, &catalog_);
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
-  EvalContext ctx = catalog_.MakeEvalContext(&doc_);
+  EvalContext ctx = catalog_.MakeEvalContext(store_);
   if (options_.verify) {
     ULOAD_ASSIGN_OR_RETURN(SchemaPtr root_schema,
                            VerifyLogicalPlan(*plan, ctx));

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "rewrite/query_rewriter.h"
+#include "storage/columnar/columnar_document.h"
 #include "storage/storage_models.h"
 
 namespace uload {
@@ -31,6 +32,14 @@ namespace uload {
 class Engine {
  public:
   struct Options {
+    // Physical document representation behind the storage-neutral
+    // DocumentStore interface. kPointer keeps the parsed node tree;
+    // kColumnar converts it into the dictionary-encoded column store
+    // (storage/columnar/) — qualifying views then run as virtual extents
+    // and the engine becomes persistable via Save()/Load(). Query results
+    // are byte-identical across backends.
+    enum class Backend { kPointer, kColumnar };
+    Backend backend = Backend::kPointer;
     // Fill target of every TupleBatch on the serving path.
     size_t batch_size = TupleBatch::kDefaultCapacity;
     // Worker threads the physical compiler may spend on Exchange operators;
@@ -68,6 +77,19 @@ class Engine {
   explicit Engine(Document doc);
   Engine(Document doc, Options options);
 
+  // Restores an engine from a file written by Save(): the column store is
+  // mmapped and validated — no XML re-parse, no summary rebuild. The loaded
+  // engine always runs the columnar backend (`options.backend` is ignored);
+  // install a storage model before querying, as with a fresh engine.
+  static Result<std::unique_ptr<Engine>> Load(const std::string& path);
+  static Result<std::unique_ptr<Engine>> Load(const std::string& path,
+                                              Options options);
+
+  // Persists the document as a columnar image (columns + dictionaries +
+  // chunk index + path summary, versioned and checksummed) to `path`. Works
+  // from either backend; the pointer backend converts on the fly.
+  Status Save(const std::string& path) const;
+
   // Replaces the engine options. Governor settings (timeout, budgets, fault
   // spec, control override) are read per query at Begin, so changed options
   // apply to the next query. Call with no queries in flight.
@@ -102,6 +124,14 @@ class Engine {
   // Executes, then renders the physical tree with per-operator counters.
   Result<Explanation> ExplainAnalyze(const std::string& query);
 
+  // The active document store — what every view and query runs against.
+  const DocumentStore& store() const { return *store_; }
+  // Non-null when the columnar backend is active.
+  const ColumnarDocument* columnar_store() const {
+    return store_ == &columnar_ ? &columnar_ : nullptr;
+  }
+  // The pointer-tree document. Empty for engines restored via Load(), which
+  // carry only the columnar image — use store() for storage-neutral access.
   const Document& document() const { return doc_; }
   const PathSummary& summary() const { return summary_; }
   const Catalog& catalog() const { return catalog_; }
@@ -112,6 +142,9 @@ class Engine {
   const MemoryTracker& memory() const { return engine_memory_; }
 
  private:
+  // Load() path: adopt a restored column store + deserialized summary.
+  Engine(ColumnarDocument store, PathSummary summary, Options options);
+
   Result<QueryRewriteResult> RewriteQuery(const std::string& query) const;
   // Installs the per-query governor state on `exec` (control with deadline,
   // tracker, fault spec, thread budget) and registers the control as
@@ -124,6 +157,10 @@ class Engine {
                 const ExecContext& exec);
 
   Document doc_;
+  ColumnarDocument columnar_;
+  // Points at doc_ or columnar_ per the active backend; set once in the
+  // constructor, never reseated.
+  const DocumentStore* store_ = nullptr;
   PathSummary summary_;
   Catalog catalog_;
   Options options_;

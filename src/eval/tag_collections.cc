@@ -3,7 +3,7 @@
 namespace uload {
 namespace {
 
-NestedRelation Collect(const Document& doc, const std::string& label,
+NestedRelation Collect(const DocumentStore& doc, const std::string& label,
                        bool attributes, const TagCollectionOptions& opts) {
   std::vector<Attribute> attrs;
   attrs.push_back(Attribute::Atomic(opts.prefix + "_ID"));
@@ -13,17 +13,20 @@ NestedRelation Collect(const Document& doc, const std::string& label,
     attrs.push_back(Attribute::Atomic(opts.prefix + "_Cont"));
   }
   NestedRelation out(Schema::Make(std::move(attrs)), CollectionKind::kList);
-  for (NodeIndex i = 1; i < doc.size(); ++i) {
-    const Node& n = doc.node(i);
+  const int64_t n = doc.size();
+  for (NodeIndex i = 1; i < n; ++i) {
+    NodeKind k = doc.kind(i);
     if (attributes) {
-      if (!n.is_attribute()) continue;
+      if (k != NodeKind::kAttribute) continue;
     } else {
-      if (!n.is_element()) continue;
+      if (k != NodeKind::kElement) continue;
     }
-    if (!label.empty() && n.label != label) continue;
+    if (!label.empty() && doc.label(i) != label) continue;
     Tuple t;
     t.fields.emplace_back(MakeNodeId(doc, i, opts.id_kind));
-    if (opts.with_tag) t.fields.emplace_back(AtomicValue::String(n.label));
+    if (opts.with_tag) {
+      t.fields.emplace_back(AtomicValue::String(std::string(doc.label(i))));
+    }
     if (opts.with_val) {
       t.fields.emplace_back(AtomicValue::String(doc.Value(i)));
     }
@@ -37,22 +40,23 @@ NestedRelation Collect(const Document& doc, const std::string& label,
 
 }  // namespace
 
-AtomicValue MakeNodeId(const Document& doc, NodeIndex n, IdKind kind) {
+AtomicValue MakeNodeId(const DocumentStore& doc, NodeIndex n, IdKind kind) {
   if (kind == IdKind::kParental) {
     return AtomicValue::Dewey(doc.Dewey(n));
   }
   // Simple/ordered identifiers are physically materialized as the (pre,
   // post, depth) triple too; the XAM's IdKind governs what the *optimizer*
   // may assume about them, not the bytes on disk.
-  return AtomicValue::Sid(doc.node(n).sid);
+  return AtomicValue::Sid(doc.sid(n));
 }
 
-NestedRelation TagCollection(const Document& doc, const std::string& label,
+NestedRelation TagCollection(const DocumentStore& doc,
+                             const std::string& label,
                              const TagCollectionOptions& opts) {
   return Collect(doc, label, /*attributes=*/false, opts);
 }
 
-NestedRelation AttributeCollection(const Document& doc,
+NestedRelation AttributeCollection(const DocumentStore& doc,
                                    const std::string& name,
                                    const TagCollectionOptions& opts) {
   return Collect(doc, name, /*attributes=*/true, opts);

@@ -1,13 +1,14 @@
 // Tag-derived collections (Def. 2.2.1): R_t / R_* over elements, R_t^α /
 // R_*^α over attributes — the base relations of XAM semantics and of the
-// XQuery algebraic translation.
+// XQuery algebraic translation. Computed against the storage-neutral
+// DocumentStore interface, so every backend yields identical collections.
 #ifndef ULOAD_EVAL_TAG_COLLECTIONS_H_
 #define ULOAD_EVAL_TAG_COLLECTIONS_H_
 
 #include <string>
 
 #include "algebra/relation.h"
-#include "xml/document.h"
+#include "xml/document_store.h"
 
 namespace uload {
 
@@ -24,16 +25,17 @@ struct TagCollectionOptions {
 
 // R_t(d) (elements with tag `label`), or R_*(d) when `label` is empty.
 // Tuples follow document order.
-NestedRelation TagCollection(const Document& doc, const std::string& label,
+NestedRelation TagCollection(const DocumentStore& doc,
+                             const std::string& label,
                              const TagCollectionOptions& opts = {});
 
 // R_t^α(d) (attributes named `name`), or R_*^α(d) when `name` is empty.
-NestedRelation AttributeCollection(const Document& doc,
+NestedRelation AttributeCollection(const DocumentStore& doc,
                                    const std::string& name,
                                    const TagCollectionOptions& opts = {});
 
 // Identifier value of a document node under the chosen representation.
-AtomicValue MakeNodeId(const Document& doc, NodeIndex n, IdKind kind);
+AtomicValue MakeNodeId(const DocumentStore& doc, NodeIndex n, IdKind kind);
 
 }  // namespace uload
 

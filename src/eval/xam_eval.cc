@@ -15,7 +15,7 @@ namespace {
 // invariant: the result always materializes <name>_ID as its first
 // top-level attribute so parents can join against it; Π_χ trims later.
 Result<NestedRelation> EvalSubtree(const Xam& xam, XamNodeId id,
-                                   const Document& doc) {
+                                   const DocumentStore& doc) {
   const XamNode& n = xam.node(id);
 
   // Base collection: always carry the ID; Tag/Val/Cont as specified.
@@ -130,7 +130,7 @@ void DedupNestedCollections(const Schema& schema, TupleList* tuples) {
 
 }  // namespace
 
-Result<NestedRelation> EvaluateXam(const Xam& xam, const Document& doc) {
+Result<NestedRelation> EvaluateXam(const Xam& xam, const DocumentStore& doc) {
   const XamNode& top = xam.node(kXamRoot);
   if (top.edges.empty()) {
     // ⊤ alone: a single tuple carrying the root id (Def. 2.2.2) — projected
@@ -156,7 +156,7 @@ Result<NestedRelation> EvaluateXam(const Xam& xam, const Document& doc) {
         const AtomicValue& v = t.fields[idx].atom();
         bool is_root = false;
         if (v.kind() == AtomicValue::Kind::kSid) {
-          is_root = v.sid() == doc.node(root).sid;
+          is_root = v.sid() == doc.sid(root);
         } else if (v.kind() == AtomicValue::Kind::kDewey) {
           is_root = v.dewey() == doc.Dewey(root);
         }
@@ -260,7 +260,7 @@ SchemaPtr BindingSchema(const Xam& xam) {
 }
 
 Result<NestedRelation> EvaluateXamWithBindings(
-    const Xam& xam, const Document& doc, const NestedRelation& bindings) {
+    const Xam& xam, const DocumentStore& doc, const NestedRelation& bindings) {
   ULOAD_ASSIGN_OR_RETURN(NestedRelation full, EvaluateXam(xam, doc));
   NestedRelation out(full.schema_ptr(), full.kind());
   for (const Tuple& b : bindings.tuples()) {

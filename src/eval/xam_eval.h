@@ -12,20 +12,20 @@
 #include "algebra/relation.h"
 #include "common/status.h"
 #include "xam/xam.h"
-#include "xml/document.h"
+#include "xml/document_store.h"
 
 namespace uload {
 
 // Evaluates a XAM without R markers (markers, if present, are ignored: this
 // computes [[χ⁰]]_d). The result's schema is xam.ViewSchema(); if the XAM is
 // ordered, tuples follow document order of the outermost returned node.
-Result<NestedRelation> EvaluateXam(const Xam& xam, const Document& doc);
+Result<NestedRelation> EvaluateXam(const Xam& xam, const DocumentStore& doc);
 
 // Def. 2.2.6: the semantics of an access-restricted XAM given bindings.
 // `bindings`' schema must use the same attribute names as the view schema,
 // restricted to R-marked attributes.
 Result<NestedRelation> EvaluateXamWithBindings(const Xam& xam,
-                                               const Document& doc,
+                                               const DocumentStore& doc,
                                                const NestedRelation& bindings);
 
 // The schema bindings for `xam` must have: its R-marked attributes, nested

@@ -7,6 +7,7 @@
 #include "exec/order_descriptor.h"
 #include "exec/plan_schemas.h"
 #include "exec/structural_join.h"
+#include "storage/store.h"
 
 namespace uload {
 namespace {
@@ -62,11 +63,13 @@ class Impl {
 
   Result<NestedRelation> EvalScan(const LogicalPlan& plan) {
     auto it = ctx_.relations.find(plan.relation());
-    if (it == ctx_.relations.end()) {
-      return Status::NotFound("relation '" + plan.relation() +
-                              "' not bound in evaluation context");
-    }
-    return *it->second;
+    if (it != ctx_.relations.end()) return *it->second;
+    // Virtual column-backed extents are not pre-materialized; the oracle
+    // path materializes them on first use (MaterializedView::data()).
+    auto vit = ctx_.views.find(plan.relation());
+    if (vit != ctx_.views.end()) return vit->second->data();
+    return Status::NotFound("relation '" + plan.relation() +
+                            "' not bound in evaluation context");
   }
 
   Result<NestedRelation> EvalIndexScan(const LogicalPlan& plan) {
@@ -626,7 +629,7 @@ class Impl {
   // --- Navigate ------------------------------------------------------------
 
   Result<NodeIndex> ResolveId(const AtomicValue& id) const {
-    const Document& doc = *ctx_.document;
+    const DocumentStore& doc = *ctx_.document;
     if (id.kind() == AtomicValue::Kind::kSid) {
       NodeIndex n = doc.NodeByPre(id.sid().pre);
       if (n == kNoNode) return Status::NotFound("no node with pre label");
@@ -646,19 +649,23 @@ class Impl {
     return Status::TypeError("cannot navigate from non-identifier value");
   }
 
-  static bool LabelMatches(const Node& n, const std::string& label) {
-    if (label.empty()) return n.is_element();
-    if (label == "#text") return n.is_text();
-    if (label[0] == '@') return n.is_attribute() && n.label == label.substr(1);
-    return n.is_element() && n.label == label;
+  static bool LabelMatches(const DocumentStore& doc, NodeIndex n,
+                           const std::string& label) {
+    if (label.empty()) return doc.is_element(n);
+    if (label == "#text") return doc.is_text(n);
+    if (label[0] == '@') {
+      return doc.is_attribute(n) &&
+             doc.label(n) == std::string_view(label).substr(1);
+    }
+    return doc.is_element(n) && doc.label(n) == label;
   }
 
   void CollectStep(NodeIndex from, const NavStep& step,
                    std::vector<NodeIndex>* out) const {
-    const Document& doc = *ctx_.document;
+    const DocumentStore& doc = *ctx_.document;
     if (step.axis == Axis::kChild) {
       for (NodeIndex c : doc.Children(from)) {
-        if (LabelMatches(doc.node(c), step.label)) out->push_back(c);
+        if (LabelMatches(doc, c, step.label)) out->push_back(c);
       }
       return;
     }
@@ -668,7 +675,7 @@ class Impl {
     while (!work.empty()) {
       NodeIndex c = work.back();
       work.pop_back();
-      if (LabelMatches(doc.node(c), step.label)) out->push_back(c);
+      if (LabelMatches(doc, c, step.label)) out->push_back(c);
       std::vector<NodeIndex> kids = doc.Children(c);
       for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
         work.push_back(*it);
@@ -701,7 +708,7 @@ class Impl {
                                   plan.nest_as().empty() ? emit.prefix
                                                          : plan.nest_as()),
                        in.kind());
-    const Document& doc = *ctx_.document;
+    const DocumentStore& doc = *ctx_.document;
     for (const Tuple& t : in.tuples()) {
       const AtomicValue& id = t.fields[path[0]].atom();
       std::vector<NodeIndex> frontier;
@@ -722,11 +729,11 @@ class Impl {
           if (emit.id_kind == IdKind::kParental) {
             e.fields.emplace_back(AtomicValue::Dewey(doc.Dewey(n)));
           } else {
-            e.fields.emplace_back(AtomicValue::Sid(doc.node(n).sid));
+            e.fields.emplace_back(AtomicValue::Sid(doc.sid(n)));
           }
         }
         if (emit.tag) {
-          e.fields.emplace_back(AtomicValue::String(doc.node(n).label));
+          e.fields.emplace_back(AtomicValue::String(std::string(doc.label(n))));
         }
         if (emit.val) {
           e.fields.emplace_back(AtomicValue::String(doc.Value(n)));
@@ -776,7 +783,7 @@ Result<NestedRelation> Evaluate(const LogicalPlan& plan,
 Result<NestedRelation> Evaluate(
     const LogicalPlan& plan,
     const std::unordered_map<std::string, const NestedRelation*>& rels,
-    const Document* doc) {
+    const DocumentStore* doc) {
   EvalContext ctx;
   ctx.relations = rels;
   ctx.document = doc;

@@ -15,9 +15,11 @@
 #include "algebra/logical_plan.h"
 #include "algebra/relation.h"
 #include "common/status.h"
-#include "xml/document.h"
+#include "xml/document_store.h"
 
 namespace uload {
+
+class MaterializedView;  // storage/store.h
 
 // Result of a streaming index binding: the view's backing relation plus the
 // row indices matching the bindings, in the relation's storage (document)
@@ -29,8 +31,16 @@ struct IndexBinding {
 };
 
 struct EvalContext {
-  // Named base relations (materialized views / storage structures).
+  // Named base relations (materialized views / storage structures). Views
+  // that run as virtual column-backed extents (storage/store.h) are NOT in
+  // this map — resolve through `views` first; the evaluator falls back to
+  // MaterializedView::data(), which materializes such a view on first use.
   std::unordered_map<std::string, const NestedRelation*> relations;
+
+  // Every catalog view by name (materialized or virtual). The physical
+  // compiler routes qualifying scans straight to the columnar store through
+  // this map; the verifier resolves scan schemas from it.
+  std::unordered_map<std::string, const MaterializedView*> views;
 
   // Lookup hook for kIndexScan over R-marked XAM stores. Receives the
   // relation name and the equality bindings, and returns a materialized
@@ -50,8 +60,8 @@ struct EvalContext {
       const std::vector<std::pair<std::string, AtomicValue>>&)>
       index_bind;
 
-  // Document backing kNavigate (and Sid resolution).
-  const Document* document = nullptr;
+  // Document store backing kNavigate (and Sid resolution); storage-neutral.
+  const DocumentStore* document = nullptr;
 };
 
 // Evaluates `plan` under `ctx`.
@@ -62,7 +72,7 @@ Result<NestedRelation> Evaluate(const LogicalPlan& plan,
 Result<NestedRelation> Evaluate(
     const LogicalPlan& plan,
     const std::unordered_map<std::string, const NestedRelation*>& rels,
-    const Document* doc = nullptr);
+    const DocumentStore* doc = nullptr);
 
 }  // namespace uload
 

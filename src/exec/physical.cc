@@ -10,6 +10,7 @@
 #include "exec/plan_schemas.h"
 #include "exec/structural_join.h"
 #include "opt/cost.h"
+#include "storage/virtual_scan.h"
 #include "verify/batch_validator.h"
 #include "verify/plan_verifier.h"
 
@@ -1207,7 +1208,7 @@ class UnionPhys : public PhysBase {
 class NavigatePhys : public PhysBase {
  public:
   NavigatePhys(PhysicalPtr input, const LogicalPlan* plan,
-               const Document* doc)
+               const DocumentStore* doc)
       : input_(std::move(input)), plan_(plan), doc_(doc) {
     emit_schema_ = NavigateEmitSchema(plan->nav_emit());
     schema_ = JoinOutputSchema(*input_->schema(), *emit_schema_,
@@ -1310,10 +1311,12 @@ class NavigatePhys : public PhysBase {
         if (emit.id_kind == IdKind::kParental) {
           e.fields.emplace_back(AtomicValue::Dewey(doc_->Dewey(n)));
         } else {
-          e.fields.emplace_back(AtomicValue::Sid(doc_->node(n).sid));
+          e.fields.emplace_back(AtomicValue::Sid(doc_->sid(n)));
         }
       }
-      if (emit.tag) e.fields.emplace_back(AtomicValue::String(doc_->node(n).label));
+      if (emit.tag) {
+        e.fields.emplace_back(AtomicValue::String(std::string(doc_->label(n))));
+      }
       if (emit.val) e.fields.emplace_back(AtomicValue::String(doc_->Value(n)));
       if (emit.cont) {
         e.fields.emplace_back(AtomicValue::String(doc_->Content(n)));
@@ -1349,17 +1352,18 @@ class NavigatePhys : public PhysBase {
 
   void Collect(NodeIndex from, const NavStep& step,
                std::vector<NodeIndex>* out) const {
-    auto matches = [&](const Node& n) {
-      if (step.label.empty()) return n.is_element();
-      if (step.label == "#text") return n.is_text();
+    auto matches = [&](NodeIndex n) {
+      if (step.label.empty()) return doc_->is_element(n);
+      if (step.label == "#text") return doc_->is_text(n);
       if (step.label[0] == '@') {
-        return n.is_attribute() && n.label == step.label.substr(1);
+        return doc_->is_attribute(n) &&
+               doc_->label(n) == std::string_view(step.label).substr(1);
       }
-      return n.is_element() && n.label == step.label;
+      return doc_->is_element(n) && doc_->label(n) == step.label;
     };
     if (step.axis == Axis::kChild) {
       for (NodeIndex c : doc_->Children(from)) {
-        if (matches(doc_->node(c))) out->push_back(c);
+        if (matches(c)) out->push_back(c);
       }
       return;
     }
@@ -1368,7 +1372,7 @@ class NavigatePhys : public PhysBase {
     while (!work.empty()) {
       NodeIndex c = work.back();
       work.pop_back();
-      if (matches(doc_->node(c))) out->push_back(c);
+      if (matches(c)) out->push_back(c);
       std::vector<NodeIndex> kids = doc_->Children(c);
       for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
         work.push_back(*it);
@@ -1378,7 +1382,7 @@ class NavigatePhys : public PhysBase {
 
   PhysicalPtr input_;
   const LogicalPlan* plan_;
-  const Document* doc_;
+  const DocumentStore* doc_;
   SchemaPtr emit_schema_;
   int lidx_ = 0;
   std::deque<Tuple> pending_;
@@ -1594,12 +1598,23 @@ class Compiler {
   // Fans a Select*/Scan chain out over N workers with a partitioned scan,
   // collected in arrival order — only legal when the consumer waived order.
   // Returns nullptr when the shape or the sizes are not eligible.
+  // Tuple count of a scannable leaf: a bound relation or a catalog view
+  // (virtual extents report their row-set size without materializing);
+  // -1 when the name resolves to neither.
+  int64_t LeafSize(const std::string& name) const {
+    auto it = ctx_.relations.find(name);
+    if (it != ctx_.relations.end()) return it->second->size();
+    auto vit = ctx_.views.find(name);
+    if (vit != ctx_.views.end()) return vit->second->row_count();
+    return -1;
+  }
+
   Result<PhysicalPtr> TryParallelRootChain(const LogicalPlan& p) {
     const LogicalPlan* leaf = SelectChainLeaf(p);
     if (leaf == nullptr) return PhysicalPtr();
-    auto it = ctx_.relations.find(leaf->relation());
-    if (it == ctx_.relations.end()) return PhysicalPtr();
-    size_t n = ChooseWorkerCount(it->second->size(), thread_budget_);
+    int64_t size = LeafSize(leaf->relation());
+    if (size < 0) return PhysicalPtr();
+    size_t n = ChooseWorkerCount(size, thread_budget_);
     if (n < 2) return PhysicalPtr();
     std::vector<PhysicalPtr> workers;
     EnterPartition(leaf, n);
@@ -1636,9 +1651,9 @@ class Compiler {
     if (anc_leaf == nullptr || desc_leaf == nullptr || anc_leaf == desc_leaf) {
       return PhysicalPtr();
     }
-    auto dit = ctx_.relations.find(desc_leaf->relation());
-    if (dit == ctx_.relations.end()) return PhysicalPtr();
-    size_t n = ChooseWorkerCount(dit->second->size(), thread_budget_);
+    int64_t dsize = LeafSize(desc_leaf->relation());
+    if (dsize < 0) return PhysicalPtr();
+    size_t n = ChooseWorkerCount(dsize, thread_budget_);
     if (n < 2) return PhysicalPtr();
     std::vector<PhysicalPtr> workers;
     EnterPartition(desc_leaf, n);
@@ -1667,6 +1682,19 @@ class Compiler {
   Result<PhysicalPtr> Rec(const LogicalPlan& p) {
     switch (p.op()) {
       case PlanOp::kScan: {
+        // Virtual column-backed extents (storage/store.h) have no
+        // materialized relation: route their scans straight to the columnar
+        // store. Materialized views resolve through `relations` as before.
+        auto vit = ctx_.views.find(p.relation());
+        if (vit != ctx_.views.end() &&
+            vit->second->virtual_store() != nullptr) {
+          if (in_worker_ && part_leaf_ == &p) {
+            return PhysicalPtr(std::make_unique<ColumnarParallelScanPhys>(
+                vit->second, p.relation(), part_, nparts_));
+          }
+          return PhysicalPtr(
+              std::make_unique<ColumnarScanPhys>(vit->second, p.relation()));
+        }
         auto it = ctx_.relations.find(p.relation());
         if (it == ctx_.relations.end()) {
           return Status::NotFound("relation '" + p.relation() + "' unbound");

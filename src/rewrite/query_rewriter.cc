@@ -98,7 +98,7 @@ Result<PlanPtr> QueryRewriter::BuildPlan(const QueryRewriteResult& r) const {
 }
 
 Result<std::string> QueryRewriter::Execute(const QueryRewriteResult& r,
-                                           const Document* doc,
+                                           const DocumentStore* doc,
                                            ExecContext* exec) const {
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, BuildPlan(r));
   EvalContext ctx = catalog_->MakeEvalContext(doc);
@@ -139,7 +139,7 @@ Result<std::string> QueryRewriter::Execute(const QueryRewriteResult& r,
 }
 
 Result<std::string> QueryRewriter::ExecuteMaterialized(
-    const QueryRewriteResult& r, const Document* doc) const {
+    const QueryRewriteResult& r, const DocumentStore* doc) const {
   EvalContext ctx = catalog_->MakeEvalContext(doc);
   // Materialize every pattern through its rewritten plan, retyped to the
   // query pattern's schema so the template and cross predicates resolve.

@@ -48,14 +48,15 @@ class QueryRewriter {
   // tuples streamed straight into the tagging template — no intermediate
   // materialized relation. `exec`, when given, supplies batch size / thread
   // budget and collects per-operator runtime metrics.
-  Result<std::string> Execute(const QueryRewriteResult& r, const Document* doc,
+  Result<std::string> Execute(const QueryRewriteResult& r,
+                              const DocumentStore* doc,
                               ExecContext* exec = nullptr) const;
 
   // Reference implementation: per-pattern materialization through the
   // tuple-at-a-time evaluator, explicit sort, pairwise products. Kept as
   // the differential-testing oracle for Execute.
   Result<std::string> ExecuteMaterialized(const QueryRewriteResult& r,
-                                          const Document* doc) const;
+                                          const DocumentStore* doc) const;
 
  private:
   const PathSummary* summary_;

@@ -11,7 +11,8 @@ Status Catalog::Add(MaterializedView view) {
   return Status::Ok();
 }
 
-Status Catalog::AddXam(std::string name, Xam definition, const Document& doc) {
+Status Catalog::AddXam(std::string name, Xam definition,
+                       const DocumentStore& doc) {
   ULOAD_ASSIGN_OR_RETURN(
       MaterializedView v,
       MaterializedView::Materialize(std::move(name), std::move(definition),
@@ -26,10 +27,15 @@ const MaterializedView* Catalog::Find(const std::string& name) const {
   return nullptr;
 }
 
-EvalContext Catalog::MakeEvalContext(const Document* doc) const {
+EvalContext Catalog::MakeEvalContext(const DocumentStore* doc) const {
   EvalContext ctx;
   for (const auto& v : views_) {
-    ctx.relations.emplace(v->name(), &v->data());
+    ctx.views.emplace(v->name(), v.get());
+    // Virtual extents stay out of `relations`: binding their data() here
+    // would force materialization up front and defeat the virtualization.
+    if (v->virtual_store() == nullptr) {
+      ctx.relations.emplace(v->name(), &v->data());
+    }
   }
   ctx.document = doc;
   ctx.index_lookup =

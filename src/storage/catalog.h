@@ -16,19 +16,23 @@ namespace uload {
 class Catalog {
  public:
   Status Add(MaterializedView view);
-  // Defines and materializes in one step.
-  Status AddXam(std::string name, Xam definition, const Document& doc);
+  // Defines and materializes (or virtualizes, over a columnar store) in one
+  // step.
+  Status AddXam(std::string name, Xam definition, const DocumentStore& doc);
 
   const MaterializedView* Find(const std::string& name) const;
   const std::vector<std::unique_ptr<MaterializedView>>& views() const {
     return views_;
   }
 
-  // Evaluation context binding every view's data by name, with both index
-  // access paths for R-marked views (materializing `index_lookup` for the
+  // Evaluation context binding every view by name: materialized views bind
+  // their data into `relations`; virtual column-backed extents appear only
+  // in `views` (the physical compiler streams them off the columnar store,
+  // the evaluator materializes them lazily). Both index access paths for
+  // R-marked views are wired (materializing `index_lookup` for the
   // evaluator, batch-streaming `index_bind` for the physical engine), and
-  // `doc` for Navigate operators.
-  EvalContext MakeEvalContext(const Document* doc) const;
+  // `doc` backs Navigate operators.
+  EvalContext MakeEvalContext(const DocumentStore* doc) const;
 
   int64_t TotalBytes() const;
 

@@ -1,0 +1,53 @@
+// Persisted columnar format: header + section table + checksummed payload
+// sections, loaded by mmap.
+//
+// File layout (all integers little-endian):
+//
+//   [0..7]    magic "ULDCOL1\0"
+//   [8..11]   u32 version (currently 1)
+//   [12..15]  u32 section count
+//   [16..23]  u64 row count
+//   [24..31]  u64 total file size (truncation tripwire)
+//   then `section count` table entries of 32 bytes each:
+//       u32 section id, u32 reserved, u64 offset, u64 length,
+//       u64 FNV-1a checksum of the payload bytes
+//   then the payload sections, each starting at an 8-byte-aligned offset.
+//
+// Sections: the two string dictionaries (delta+varint offsets + raw blob),
+// the fixed-width per-row columns (raw little-endian arrays, referenced in
+// place by the loader), the per-summary-node chunk index (sorted row lists,
+// delta+varint), and the serialized PathSummary. Loading validates magic,
+// version, bounds, alignment, per-section checksums, dictionary-id ranges
+// and parent-link structure before handing out a document — a truncated or
+// corrupted file yields a clean Status, never UB.
+#ifndef ULOAD_STORAGE_COLUMNAR_COLUMNAR_FORMAT_H_
+#define ULOAD_STORAGE_COLUMNAR_COLUMNAR_FORMAT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/columnar/columnar_document.h"
+
+namespace uload {
+
+inline constexpr uint32_t kColumnarFormatVersion = 1;
+
+// A loaded store plus the persisted catalog metadata that rides with it.
+struct LoadedColumnar {
+  ColumnarDocument document;
+  // PathSummary::Serialize() payload ("" when none was saved).
+  std::string summary_text;
+};
+
+// Writes `doc` (and `summary_text`, normally PathSummary::Serialize()) to
+// `path`, replacing any existing file.
+Status SaveColumnar(const ColumnarDocument& doc,
+                    const std::string& summary_text, const std::string& path);
+
+// Maps `path` and validates it; the returned document serves fixed-width
+// columns and dictionary blobs directly out of the mapping.
+Result<LoadedColumnar> LoadColumnar(const std::string& path);
+
+}  // namespace uload
+
+#endif  // ULOAD_STORAGE_COLUMNAR_COLUMNAR_FORMAT_H_

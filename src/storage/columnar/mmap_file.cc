@@ -1,0 +1,68 @@
+#include "storage/columnar/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace uload {
+
+MmapFile::~MmapFile() { Reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, size_t{0});
+  }
+  return *this;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat('" + path +
+                            "') failed: " + std::strerror(err));
+  }
+  MmapFile f;
+  f.size_ = static_cast<size_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap('" + path +
+                              "') failed: " + std::strerror(err));
+    }
+    f.data_ = static_cast<const uint8_t*>(p);
+  }
+  ::close(fd);  // the mapping keeps the file alive
+  return f;
+}
+
+}  // namespace uload

@@ -1,0 +1,40 @@
+// Read-only memory-mapped file (RAII). The persisted columnar format is
+// loaded by mapping the file and validating sections in place — restart is
+// a map + validate, not a re-parse.
+#ifndef ULOAD_STORAGE_COLUMNAR_MMAP_FILE_H_
+#define ULOAD_STORAGE_COLUMNAR_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace uload {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  // Maps `path` read-only. An empty file maps to data() == nullptr, size 0.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_STORAGE_COLUMNAR_MMAP_FILE_H_

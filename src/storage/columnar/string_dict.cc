@@ -1,0 +1,63 @@
+#include "storage/columnar/string_dict.h"
+
+#include <limits>
+
+#include "storage/columnar/varint.h"
+
+namespace uload {
+
+StringDict::StringDict() {
+  offsets_ = {0, 0};  // id 0 = ""
+  intern_.emplace("", 0);
+}
+
+uint32_t StringDict::Intern(std::string_view s) {
+  auto it = intern_.find(std::string(s));
+  if (it != intern_.end()) return it->second;
+  uint32_t id = size();
+  owned_blob_.append(s);
+  offsets_.push_back(static_cast<uint32_t>(owned_blob_.size()));
+  intern_.emplace(std::string(s), id);
+  return id;
+}
+
+int64_t StringDict::ApproximateBytes() const {
+  return static_cast<int64_t>(offsets_.size() * sizeof(uint32_t)) +
+         blob_size();
+}
+
+void StringDict::EncodeOffsets(std::string* out) const {
+  PutVarint(size(), out);
+  PutDeltaVarints(offsets_, out);
+}
+
+Result<StringDict> StringDict::FromEncoded(const uint8_t* offsets,
+                                           size_t offsets_size,
+                                           const char* blob,
+                                           size_t blob_size) {
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!GetVarint(offsets, offsets_size, &pos, &count)) {
+    return Status::ParseError("string dictionary: truncated count");
+  }
+  if (count > std::numeric_limits<uint32_t>::max() - 1) {
+    return Status::ParseError("string dictionary: count out of range");
+  }
+  StringDict d;
+  d.intern_.clear();
+  if (!GetDeltaVarints(offsets, offsets_size, &pos,
+                       static_cast<size_t>(count) + 1, blob_size,
+                       &d.offsets_)) {
+    return Status::ParseError("string dictionary: truncated offsets");
+  }
+  if (pos != offsets_size) {
+    return Status::ParseError("string dictionary: trailing offset bytes");
+  }
+  if (d.offsets_.front() != 0 || d.offsets_.back() != blob_size) {
+    return Status::ParseError("string dictionary: offsets do not span blob");
+  }
+  d.external_blob_ = blob;
+  return d;
+}
+
+}  // namespace uload

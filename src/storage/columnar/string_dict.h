@@ -1,0 +1,73 @@
+// String dictionary for the columnar store: tags/labels and text values are
+// stored once and referenced by dense uint32 ids.
+//
+// Two modes share one class:
+//  * build mode (Intern) — owns its blob and an intern map;
+//  * read mode (FromEncoded) — offsets decoded from delta+varint bytes, the
+//    character blob referenced in place (e.g. inside an mmap'ed file), so
+//    loading a persisted dictionary copies no string data.
+#ifndef ULOAD_STORAGE_COLUMNAR_STRING_DICT_H_
+#define ULOAD_STORAGE_COLUMNAR_STRING_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uload {
+
+class StringDict {
+ public:
+  // Build mode; id 0 is always the empty string.
+  StringDict();
+
+  // Returns the id of `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  uint32_t size() const { return static_cast<uint32_t>(offsets_.size() - 1); }
+  std::string_view at(uint32_t id) const {
+    return std::string_view(data() + offsets_[id],
+                            offsets_[id + 1] - offsets_[id]);
+  }
+
+  // Owned + referenced footprint (offsets, blob, intern map keys).
+  int64_t ApproximateBytes() const;
+  // Blob bytes only (the payload a persisted file carries).
+  int64_t blob_size() const {
+    return static_cast<int64_t>(offsets_.empty() ? 0 : offsets_.back());
+  }
+
+  // --- Persistence ---------------------------------------------------------
+
+  // Appends the offsets section: varint count, then the count+1 start
+  // offsets delta+varint encoded (offset 0 first, blob size last).
+  void EncodeOffsets(std::string* out) const;
+  // The character blob section (raw bytes).
+  std::string_view blob() const { return std::string_view(data(), size_t(blob_size())); }
+
+  // Read mode over persisted sections. `blob` is referenced, not copied, and
+  // must outlive the dictionary. Fails cleanly on truncated or inconsistent
+  // offsets (non-ascending, not ending at blob size, trailing bytes).
+  static Result<StringDict> FromEncoded(const uint8_t* offsets,
+                                        size_t offsets_size, const char* blob,
+                                        size_t blob_size);
+
+ private:
+  // Build mode keeps external_blob_ null and serves reads out of the growing
+  // owned blob; read mode points at the persisted bytes.
+  const char* data() const {
+    return external_blob_ != nullptr ? external_blob_ : owned_blob_.data();
+  }
+
+  std::vector<uint32_t> offsets_;  // size() + 1 entries; offsets_[0] == 0
+  std::string owned_blob_;         // build mode only
+  const char* external_blob_ = nullptr;  // read mode only
+  std::unordered_map<std::string, uint32_t> intern_;  // build mode only
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_STORAGE_COLUMNAR_STRING_DICT_H_

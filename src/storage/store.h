@@ -1,9 +1,20 @@
 // Materialized XAMs: a storage structure / index / view described by a XAM
 // (thesis Ch. 2) together with its extent over a document, and — for
 // R-marked XAMs — an access-path index over the required attributes.
+//
+// Over the columnar backend, qualifying views do not materialize at all:
+// a XAM that is a plain tag/attribute collection (single node under ⊤ via
+// //, no predicates, no R markers, no Cont, non-parental id) is kept as a
+// *virtual extent* — the store's per-summary-node chunks already are its
+// rows, so scans stream straight off the columns and the view costs only a
+// compressed row-id list. Everything else falls back to materialization,
+// which is correct for any backend. data() materializes a virtual view
+// lazily for the oracle paths.
 #ifndef ULOAD_STORAGE_STORE_H_
 #define ULOAD_STORAGE_STORE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,24 +22,55 @@
 #include "algebra/relation.h"
 #include "common/status.h"
 #include "eval/xam_eval.h"
+#include "storage/columnar/columnar_document.h"
 #include "xam/xam.h"
-#include "xml/document.h"
+#include "xml/document_store.h"
 
 namespace uload {
+
+// True when `xam` is a plain collection pattern a chunked store can serve
+// without materialization (see file comment for the exact gate).
+bool QualifiesAsVirtualExtent(const Xam& xam);
 
 class MaterializedView {
  public:
   // Evaluates `definition` over `doc` and builds the index when the XAM has
   // R markers (full data is kept: Def. 2.2.6 semantics are computed against
-  // [[χ⁰]] restricted by the bindings).
+  // [[χ⁰]] restricted by the bindings). Over a ColumnarDocument, qualifying
+  // definitions become virtual extents instead (no materialization).
   static Result<MaterializedView> Materialize(std::string name,
                                               Xam definition,
-                                              const Document& doc);
+                                              const DocumentStore& doc);
+
+  MaterializedView(MaterializedView&&) = default;
+  MaterializedView& operator=(MaterializedView&&) = default;
 
   const std::string& name() const { return name_; }
   const Xam& definition() const { return definition_; }
-  const NestedRelation& data() const { return data_; }
   bool access_restricted() const { return definition_.HasRequired(); }
+
+  // The view's extent as a materialized relation. For virtual extents this
+  // materializes on first call (thread-safe) — the physical scan paths never
+  // call it; the oracle evaluator and index fallbacks do.
+  const NestedRelation& data() const;
+
+  // The view schema without materializing (== data().schema_ptr()).
+  const SchemaPtr& schema() const { return schema_; }
+  // Tuple count without materializing.
+  int64_t row_count() const;
+
+  // --- Virtual-extent surface (physical scans; storage/virtual_scan.h) ----
+
+  // Non-null iff this view streams off a columnar store.
+  const ColumnarDocument* virtual_store() const { return columnar_; }
+  // Decodes the delta+varint row-id list (rows in document order).
+  std::vector<NodeIndex> VirtualRows() const;
+  // Encoded row-set bytes for streaming decode.
+  const std::string& rowset() const { return rowset_; }
+  // Which of ID/Tag/Val/Cont the extent emits, and the id representation.
+  bool emit_tag() const { return emit_tag_; }
+  bool emit_val() const { return emit_val_; }
+  IdKind id_kind() const { return id_kind_; }
 
   // Access for R-marked views: equality bindings over required top-level
   // attributes (attr name -> constant). Uses the hash index when all bound
@@ -42,16 +84,46 @@ class MaterializedView {
   Result<std::vector<int64_t>> LookupRows(
       const std::vector<std::pair<std::string, AtomicValue>>& bindings) const;
 
-  // Storage footprint estimate in bytes (benchmark reporting).
+  // Storage footprint estimate in bytes (benchmark reporting); virtual
+  // extents report only their row-set — the shared column store is
+  // accounted once, at the document level.
   int64_t ApproximateBytes() const;
 
+  // Per-component breakdown so storage-model comparisons stay honest.
+  struct StorageBytes {
+    int64_t data_bytes = 0;    // materialized tuple payloads
+    int64_t index_bytes = 0;   // R-marker hash index
+    int64_t rowset_bytes = 0;  // virtual extent's compressed row ids
+    bool virtualized = false;
+  };
+  StorageBytes ApproximateBytesBreakdown() const;
+
  private:
+  MaterializedView() = default;
+
+  void MaterializeNow() const;
+
   std::string name_;
   Xam definition_;
-  NestedRelation data_;
+  SchemaPtr schema_;
+  const DocumentStore* doc_ = nullptr;
+
+  // Materialized state; lazy for virtual extents.
+  mutable std::unique_ptr<std::mutex> data_mu_ =
+      std::make_unique<std::mutex>();
+  mutable bool materialized_ = false;
+  mutable NestedRelation data_;
   // Index: concatenated key over required top-level attrs -> tuple indices.
   std::vector<int> index_attrs_;
   std::unordered_map<std::string, std::vector<int64_t>> index_;
+
+  // Virtual-extent state.
+  const ColumnarDocument* columnar_ = nullptr;
+  std::string rowset_;  // delta+varint row ids
+  int64_t rowset_rows_ = 0;
+  bool emit_tag_ = false;
+  bool emit_val_ = false;
+  IdKind id_kind_ = IdKind::kStructural;
 };
 
 }  // namespace uload

@@ -1,0 +1,92 @@
+// Physical scans over virtual column-backed extents (storage/store.h).
+//
+// A virtualized view has no materialized relation: its tuples are assembled
+// on the fly from the ColumnarDocument's columns, guided by the view's
+// compressed row-id set. ColumnarScanPhys is the serial Scan_φ counterpart;
+// ColumnarParallelScanPhys slices the row set into contiguous ranges exactly
+// like ParallelScan_φ (part*n/nparts), so worker streams stay disjoint and
+// locally ordered in document order and ExchangeMerge reproduces the serial
+// tuple sequence. Both report the generic Scan/ParallelScan operator kinds —
+// the plan verifier's placement and order rules apply unchanged, which is
+// the point: physically different access paths, same logical contract.
+#ifndef ULOAD_STORAGE_VIRTUAL_SCAN_H_
+#define ULOAD_STORAGE_VIRTUAL_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/physical.h"
+#include "storage/store.h"
+
+namespace uload {
+
+// Common machinery: row-set decoding, tuple assembly, order adoption.
+class ColumnarScanBase : public PhysicalOperator {
+ public:
+  ColumnarScanBase(const MaterializedView* view, std::string name,
+                   size_t part, size_t nparts);
+
+  const SchemaPtr& schema() const override { return schema_; }
+  const OrderDescriptor& order() const override { return order_; }
+
+  // The ID column streams in strictly ascending document (pre) order; a
+  // constant-tag view satisfies any order on its Tag column trivially. Val
+  // keys are never adopted — the compiler falls back to a Sort_φ enforcer,
+  // which is a no-op rewrite when the data happens to be sorted already, so
+  // results stay identical to the materialized backend either way.
+  bool TryAdoptOrder(const OrderDescriptor& order) override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<std::optional<TupleBatch>> NextBatchImpl() override;
+  void CloseImpl() override;
+
+  Tuple MakeRow(NodeIndex row) const;
+
+  const MaterializedView* view_;
+  std::string name_;
+  size_t part_;
+  size_t nparts_;
+  SchemaPtr schema_;
+  OrderDescriptor order_;
+  bool tag_constant_ = false;
+  // Row assembly template: the constant Tag is pre-filled once; MakeRow
+  // copies the prototype and overwrites only the per-row fields, which is
+  // measurably cheaper than building each variant chain from scratch.
+  Tuple proto_;
+  int val_slot_ = -1;
+  int tag_slot_ = -1;
+
+  std::vector<NodeIndex> rows_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+};
+
+// Scan_φ over a virtual extent.
+class ColumnarScanPhys final : public ColumnarScanBase {
+ public:
+  ColumnarScanPhys(const MaterializedView* view, std::string name)
+      : ColumnarScanBase(view, std::move(name), 0, 1) {}
+  std::string label() const override {
+    return "ColumnarScan_phi(" + name_ + ")";
+  }
+  PhysOpKind kind() const override { return PhysOpKind::kScan; }
+};
+
+// ParallelScan_φ over the `part`-th of `nparts` contiguous slices of a
+// virtual extent's row set.
+class ColumnarParallelScanPhys final : public ColumnarScanBase {
+ public:
+  ColumnarParallelScanPhys(const MaterializedView* view, std::string name,
+                           size_t part, size_t nparts)
+      : ColumnarScanBase(view, std::move(name), part, nparts) {}
+  std::string label() const override {
+    return "ColumnarParallelScan_phi(" + name_ + " " +
+           std::to_string(part_ + 1) + "/" + std::to_string(nparts_) + ")";
+  }
+  PhysOpKind kind() const override { return PhysOpKind::kParallelScan; }
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_STORAGE_VIRTUAL_SCAN_H_

@@ -5,6 +5,7 @@
 #include "exec/exchange.h"
 #include "exec/order_descriptor.h"
 #include "exec/plan_schemas.h"
+#include "storage/store.h"
 
 namespace uload {
 
@@ -166,12 +167,14 @@ class LogicalVerifier {
     switch (p.op()) {
       case PlanOp::kScan: {
         auto it = ctx_.relations.find(p.relation());
-        if (it == ctx_.relations.end()) {
-          return Status::NotFound("plan verification: at " + path +
-                                  ": relation '" + p.relation() +
-                                  "' not bound in evaluation context");
-        }
-        return it->second->schema_ptr();
+        if (it != ctx_.relations.end()) return it->second->schema_ptr();
+        // Virtual column-backed extents have no bound relation; their
+        // schema comes from the view definition (storage/store.h).
+        auto vit = ctx_.views.find(p.relation());
+        if (vit != ctx_.views.end()) return vit->second->schema();
+        return Status::NotFound("plan verification: at " + path +
+                                ": relation '" + p.relation() +
+                                "' not bound in evaluation context");
       }
       case PlanOp::kIndexScan:
         return InferIndexScan(p, path);

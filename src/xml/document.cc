@@ -151,6 +151,32 @@ DeweyId Document::Dewey(NodeIndex i) const {
   return path;
 }
 
+int32_t Document::path_id_limit() const {
+  int32_t limit = 0;
+  for (const Node& n : nodes_) {
+    if (n.path_id >= limit) limit = n.path_id + 1;
+  }
+  return limit;
+}
+
+std::vector<NodeIndex> Document::ChunkRows(int32_t path) const {
+  std::vector<NodeIndex> rows;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].path_id == path) rows.push_back(static_cast<NodeIndex>(i));
+  }
+  return rows;
+}
+
+int64_t Document::ApproximateBytes() const {
+  int64_t bytes = 0;
+  for (const Node& n : nodes_) {
+    bytes += static_cast<int64_t>(sizeof(Node)) +
+             static_cast<int64_t>(n.label.size()) +
+             static_cast<int64_t>(n.value.size());
+  }
+  return bytes;
+}
+
 int64_t Document::SerializedSize() const {
   NodeIndex r = root();
   if (r == kNoNode) return 0;

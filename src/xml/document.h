@@ -8,12 +8,15 @@
 #include <vector>
 
 #include "common/status.h"
+#include "xml/document_store.h"
 #include "xml/ids.h"
 #include "xml/node.h"
 
 namespace uload {
 
-class Document {
+// The pointer-tree backend of the DocumentStore interface: nodes in a flat
+// arena linked by parent/first_child/next_sibling indices.
+class Document : public DocumentStore {
  public:
   Document();
 
@@ -33,38 +36,55 @@ class Document {
   // the last AddNode and before any query.
   void Finalize();
 
-  // --- Access --------------------------------------------------------------
+  // --- Access (DocumentStore implementation) -------------------------------
 
-  // The synthetic document node (index 0).
-  NodeIndex document_node() const { return 0; }
+  std::string_view backend_name() const override { return "pointer"; }
+
   // The unique element child of the document node.
-  NodeIndex root() const;
+  NodeIndex root() const override;
 
-  int64_t size() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t size() const override { return static_cast<int64_t>(nodes_.size()); }
   const Node& node(NodeIndex i) const { return nodes_[i]; }
   Node& mutable_node(NodeIndex i) { return nodes_[i]; }
 
+  NodeKind kind(NodeIndex i) const override { return nodes_[i].kind; }
+  std::string_view label(NodeIndex i) const override {
+    return nodes_[i].label;
+  }
+  StructuralId sid(NodeIndex i) const override { return nodes_[i].sid; }
+  NodeIndex parent(NodeIndex i) const override { return nodes_[i].parent; }
+  uint32_t ordinal(NodeIndex i) const override { return nodes_[i].ordinal; }
+  int32_t path_id(NodeIndex i) const override { return nodes_[i].path_id; }
+
   // Number of element nodes (the N statistic of Fig. 4.13).
-  int64_t element_count() const;
+  int64_t element_count() const override;
 
   // Children of `i` in document order.
-  std::vector<NodeIndex> Children(NodeIndex i) const;
+  std::vector<NodeIndex> Children(NodeIndex i) const override;
 
   // Node index with the given pre label (pre labels are dense, 1-based over
   // non-document nodes), or kNoNode.
-  NodeIndex NodeByPre(uint32_t pre) const;
+  NodeIndex NodeByPre(uint32_t pre) const override;
 
   // XPath text() semantics: concatenation of all descendant #text values in
   // document order; for attributes/texts, their own value (§1.1).
-  std::string Value(NodeIndex i) const;
+  std::string Value(NodeIndex i) const override;
 
   // Serialized subtree ("content" in §1.1): elements as markup, attributes
   // as name="value", text as escaped character data.
-  std::string Content(NodeIndex i) const;
+  std::string Content(NodeIndex i) const override;
 
   // Dewey identifier (root element = {1}); attributes and texts take their
   // ordinal arc like any child.
-  DeweyId Dewey(NodeIndex i) const;
+  DeweyId Dewey(NodeIndex i) const override;
+
+  // Path-partitioned chunk iteration: the pointer tree keeps no chunk index,
+  // so these scan the arena (used by equivalence tests, not hot paths).
+  int32_t path_id_limit() const override;
+  std::vector<NodeIndex> ChunkRows(int32_t path) const override;
+
+  // Arena footprint: node structs plus label/value payloads.
+  int64_t ApproximateBytes() const override;
 
   // Total serialized size in bytes (the "Size" statistic of Fig. 4.13).
   int64_t SerializedSize() const;

@@ -1,21 +1,21 @@
 #include "xml/serialize.h"
 
+#include <vector>
+
 #include "common/string_util.h"
-#include "xml/document.h"
 
 namespace uload {
 namespace {
 
-void SerializeRec(const Document& doc, NodeIndex i, std::string* out) {
-  const Node& n = doc.node(i);
-  switch (n.kind) {
+void SerializeRec(const DocumentStore& doc, NodeIndex i, std::string* out) {
+  switch (doc.kind(i)) {
     case NodeKind::kText:
-      *out += XmlEscape(n.value);
+      *out += XmlEscape(doc.Value(i));
       return;
     case NodeKind::kAttribute:
-      *out += n.label;
+      *out += doc.label(i);
       *out += "=\"";
-      *out += XmlEscape(n.value);
+      *out += XmlEscape(doc.Value(i));
       *out += '"';
       return;
     case NodeKind::kDocument: {
@@ -26,11 +26,11 @@ void SerializeRec(const Document& doc, NodeIndex i, std::string* out) {
       break;
   }
   *out += '<';
-  *out += n.label;
+  *out += doc.label(i);
   std::vector<NodeIndex> kids = doc.Children(i);
   size_t first_non_attr = 0;
   for (NodeIndex c : kids) {
-    if (!doc.node(c).is_attribute()) break;
+    if (!doc.is_attribute(c)) break;
     *out += ' ';
     SerializeRec(doc, c, out);
     ++first_non_attr;
@@ -44,13 +44,13 @@ void SerializeRec(const Document& doc, NodeIndex i, std::string* out) {
     SerializeRec(doc, kids[k], out);
   }
   *out += "</";
-  *out += n.label;
+  *out += doc.label(i);
   *out += '>';
 }
 
 }  // namespace
 
-std::string SerializeSubtree(const Document& doc, NodeIndex i) {
+std::string SerializeSubtree(const DocumentStore& doc, NodeIndex i) {
   std::string out;
   SerializeRec(doc, i, &out);
   return out;

@@ -4,17 +4,18 @@
 
 #include <string>
 
+#include "xml/document_store.h"
 #include "xml/node.h"
 
 namespace uload {
-
-class Document;
 
 // Serializes the subtree rooted at `i`:
 //  * elements: <tag a="v">...</tag> (self-closing when empty),
 //  * attributes: name="value" (matching Fig. 2.6),
 //  * text nodes: escaped character data.
-std::string SerializeSubtree(const Document& doc, NodeIndex i);
+// Implemented against the storage-neutral DocumentStore interface so every
+// backend serializes byte-identically by construction.
+std::string SerializeSubtree(const DocumentStore& doc, NodeIndex i);
 
 }  // namespace uload
 

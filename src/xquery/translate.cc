@@ -504,7 +504,7 @@ Result<Translation> TranslateQuery(const Expr& q) {
 }
 
 Result<std::string> EvaluateTranslated(const Translation& tr,
-                                       const Document& doc) {
+                                       const DocumentStore& doc) {
   if (tr.patterns.empty()) {
     // Constant query (no data access): apply the template to one empty tuple.
     NestedRelation unit(Schema::Make({}));

@@ -25,7 +25,7 @@
 #include "algebra/xml_template.h"
 #include "common/status.h"
 #include "xam/xam.h"
-#include "xml/document.h"
+#include "xml/document_store.h"
 #include "xquery/ast.h"
 
 namespace uload {
@@ -52,7 +52,7 @@ Result<Translation> TranslateQuery(const Expr& q);
 // Evaluates alg(q): materializes each pattern via its XAM semantics, takes
 // the product, applies cross-pattern predicates and the template.
 Result<std::string> EvaluateTranslated(const Translation& tr,
-                                       const Document& doc);
+                                       const DocumentStore& doc);
 
 }  // namespace uload
 

@@ -1,0 +1,202 @@
+// Loader hardening corpus for the persisted columnar format, mirroring the
+// parser corpus (xml_parser_robustness_test.cc): a truncated, corrupted, or
+// hostile image of any kind must come back from LoadColumnar as a clean
+// ParseError Status — never a crash, out-of-bounds read, or document that
+// later misbehaves. The corpus covers truncation at every section boundary
+// (and a byte sweep around them), bad magic, unsupported versions, flipped
+// payload bytes against the checksums, and header-field lies (row count,
+// section count, offsets, total size).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "storage/columnar/columnar_format.h"
+#include "summary/path_summary.h"
+#include "workload/dblp.h"
+
+namespace uload {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// One well-formed persisted image, built once, mutated per test.
+class ColumnarRobustness : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Document doc = GenerateDblp({40, 7});
+    PathSummary summary = PathSummary::Build(&doc);
+    ColumnarDocument col = ColumnarDocument::FromDocument(doc);
+    const std::string path = TempPath("good.uldcol");
+    auto st = SaveColumnar(col, summary.Serialize(), path);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    image_ = new std::string((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    ASSERT_GT(image_->size(), 32u);
+  }
+  static void TearDownTestSuite() {
+    delete image_;
+    image_ = nullptr;
+  }
+
+  // Writes `bytes` to a scratch file and loads it.
+  static Result<LoadedColumnar> LoadBytes(const std::string& bytes) {
+    const std::string path = TempPath("mutant.uldcol");
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    Result<LoadedColumnar> r = LoadColumnar(path);
+    std::remove(path.c_str());
+    return r;
+  }
+
+  static void ExpectCleanFailure(const std::string& bytes,
+                                 const std::string& what) {
+    auto r = LoadBytes(bytes);
+    ASSERT_FALSE(r.ok()) << what << ": loader accepted a corrupt image";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError)
+        << what << ": " << r.status().ToString();
+  }
+
+  // Section table offsets: entries start at byte 32, 32 bytes each, with
+  // the payload offset at entry+8 (see columnar_format.h layout).
+  static std::vector<size_t> SectionBoundaries() {
+    const std::string& img = *image_;
+    uint32_t sections = 0;
+    std::memcpy(&sections, img.data() + 12, sizeof(sections));
+    std::vector<size_t> cuts = {0, 8, 12, 16, 24, 32};
+    for (uint32_t s = 0; s < sections; ++s) {
+      size_t entry = 32 + size_t{s} * 32;
+      cuts.push_back(entry);
+      uint64_t offset = 0, length = 0;
+      std::memcpy(&offset, img.data() + entry + 8, sizeof(offset));
+      std::memcpy(&length, img.data() + entry + 16, sizeof(length));
+      cuts.push_back(offset);
+      cuts.push_back(offset + length);
+    }
+    return cuts;
+  }
+
+  static std::string* image_;
+};
+
+std::string* ColumnarRobustness::image_ = nullptr;
+
+TEST_F(ColumnarRobustness, GoodImageStillLoads) {
+  auto r = LoadBytes(*image_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->document.size(), 0);
+}
+
+TEST_F(ColumnarRobustness, TruncationAtEverySectionBoundaryIsAStatus) {
+  for (size_t cut : SectionBoundaries()) {
+    // The boundary itself plus a sweep of nearby lengths on both sides.
+    for (int d = -3; d <= 3; ++d) {
+      int64_t len = static_cast<int64_t>(cut) + d;
+      if (len < 0 || len >= static_cast<int64_t>(image_->size())) continue;
+      ExpectCleanFailure(image_->substr(0, static_cast<size_t>(len)),
+                         "truncated to " + std::to_string(len) + " bytes");
+    }
+  }
+}
+
+TEST_F(ColumnarRobustness, CoarseTruncationSweepNeverCrashes) {
+  // Beyond exact boundaries: cut every ~1/64 of the file.
+  size_t step = image_->size() / 64 + 1;
+  for (size_t len = 0; len < image_->size(); len += step) {
+    ExpectCleanFailure(image_->substr(0, len),
+                       "truncated to " + std::to_string(len) + " bytes");
+  }
+}
+
+TEST_F(ColumnarRobustness, BadMagicIsRejected) {
+  std::string img = *image_;
+  img[0] = 'X';
+  ExpectCleanFailure(img, "bad magic");
+  ExpectCleanFailure(std::string(64, '\0'), "zero magic");
+  ExpectCleanFailure("short", "five-byte file");
+  ExpectCleanFailure("", "empty file");
+}
+
+TEST_F(ColumnarRobustness, UnsupportedVersionIsRejected) {
+  std::string img = *image_;
+  uint32_t bad = kColumnarFormatVersion + 1;
+  std::memcpy(img.data() + 8, &bad, sizeof(bad));
+  ExpectCleanFailure(img, "future version");
+  bad = 0;
+  std::memcpy(img.data() + 8, &bad, sizeof(bad));
+  ExpectCleanFailure(img, "version 0");
+}
+
+TEST_F(ColumnarRobustness, FlippedPayloadBytesTripTheChecksums) {
+  // One flipped byte inside every section payload must be caught by that
+  // section's FNV-1a checksum.
+  const std::string& good = *image_;
+  uint32_t sections = 0;
+  std::memcpy(&sections, good.data() + 12, sizeof(sections));
+  for (uint32_t s = 0; s < sections; ++s) {
+    size_t entry = 32 + size_t{s} * 32;
+    uint64_t offset = 0, length = 0;
+    std::memcpy(&offset, good.data() + entry + 8, sizeof(offset));
+    std::memcpy(&length, good.data() + entry + 16, sizeof(length));
+    if (length == 0) continue;
+    std::string img = good;
+    img[offset + length / 2] ^= 0x5a;
+    ExpectCleanFailure(img, "flipped byte in section " + std::to_string(s));
+  }
+}
+
+TEST_F(ColumnarRobustness, HeaderFieldLiesAreRejected) {
+  {  // Row count inflated: columns no longer cover the claimed rows.
+    std::string img = *image_;
+    uint64_t rows = 0;
+    std::memcpy(&rows, img.data() + 16, sizeof(rows));
+    rows *= 2;
+    std::memcpy(img.data() + 16, &rows, sizeof(rows));
+    ExpectCleanFailure(img, "inflated row count");
+  }
+  {  // Total-size field disagrees with the actual file size.
+    std::string img = *image_;
+    uint64_t total = img.size() + 1024;
+    std::memcpy(img.data() + 24, &total, sizeof(total));
+    ExpectCleanFailure(img, "lying total size");
+  }
+  {  // Section count pointing past the file.
+    std::string img = *image_;
+    uint32_t sections = 10'000;
+    std::memcpy(img.data() + 12, &sections, sizeof(sections));
+    ExpectCleanFailure(img, "huge section count");
+  }
+  {  // A section offset pointing outside the file.
+    std::string img = *image_;
+    uint64_t offset = img.size() + 64;
+    std::memcpy(img.data() + 32 + 8, &offset, sizeof(offset));
+    ExpectCleanFailure(img, "out-of-bounds section offset");
+  }
+  {  // Misaligned section offset.
+    std::string img = *image_;
+    uint64_t offset = 0;
+    std::memcpy(&offset, img.data() + 32 + 8, sizeof(offset));
+    offset += 1;
+    std::memcpy(img.data() + 32 + 8, &offset, sizeof(offset));
+    ExpectCleanFailure(img, "misaligned section offset");
+  }
+}
+
+TEST_F(ColumnarRobustness, MissingFileIsACleanStatus) {
+  auto r = LoadColumnar(TempPath("does-not-exist.uldcol"));
+  ASSERT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace uload
