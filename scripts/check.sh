@@ -7,6 +7,11 @@
 #   scripts/check.sh --backend-sweep    # pointer-vs-columnar differential
 #                                       # grid + persisted-format robustness
 #                                       # under ASAN/UBSAN only
+#   scripts/check.sh --server-sweep     # query-service front-end: loopback
+#                                       # server + differential tests, frame
+#                                       # robustness under ASAN/UBSAN, the
+#                                       # engine/server torture under TSAN,
+#                                       # and a throughput-bench smoke run
 # The lint leg runs clang-tidy (config in .clang-tidy) over src/ against the
 # normal build's compile_commands.json; it is skipped with a notice when
 # clang-tidy is not installed (CI installs it; see .github/workflows/ci.yml).
@@ -18,6 +23,13 @@
 # cancellations, timeouts, and budget exhaustion across the engine corpus:
 # ASAN proves no aborted query leaks, TSAN proves the poison/drain/join
 # teardown of the exchange pool is race-free.
+# The server-sweep leg (DESIGN.md §10) covers the query service: the full
+# server suite (sessions, admission, drain, malformed frames, wire-vs-
+# in-process differential) in the normal build, the frame-parser robustness
+# corpus under ASAN/UBSAN, the engine+server concurrency torture under TSAN
+# (zero races is the acceptance bar), and the closed-loop throughput bench
+# in --smoke mode, which also verifies every wire answer byte-identical to
+# the in-process run.
 # The backend-sweep leg (DESIGN.md §9) runs the storage-invariance bar under
 # ASAN/UBSAN: the pointer-vs-columnar differential grid (byte-identical
 # results across backends × batch sizes × thread budgets), the DocumentStore
@@ -38,6 +50,36 @@ run_config() {
 
 FAULT_FILTER='ExecFaultSweep.*:EngineGovernorTest.*:XmlParserRobustness.*'
 BACKEND_FILTER='BackendDifferential.*:ColumnarStore.*:ColumnarRobustness.*'
+SERVER_FILTER='ServerTest.*:ServerDifferentialTest.*:ServerFrameRobustness.*'
+SERVER_FILTER="$SERVER_FILTER:WireCodes.*:AdmissionControl.*"
+TORTURE_FILTER='*EngineConcurrencyTest*:ServerTest.*:AdmissionControl.*'
+
+if [[ "${1:-}" == "--server-sweep" ]]; then
+  echo "== server suite (normal configuration) =="
+  cmake -B build -S .
+  cmake --build build -j
+  ./build/tests/uload_tests \
+    --gtest_filter="$SERVER_FILTER:*EngineConcurrencyTest*"
+
+  echo "== frame robustness + server suite under ASAN/UBSAN =="
+  cmake -B build-asan -S . -DASAN=ON
+  cmake --build build-asan -j
+  ./build-asan/tests/uload_tests --gtest_filter="$SERVER_FILTER"
+
+  echo "== concurrency torture under TSAN =="
+  cmake -B build-tsan -S . -DTSAN=ON
+  cmake --build build-tsan -j
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/uload_tests \
+    --gtest_filter="$TORTURE_FILTER"
+
+  echo "== throughput bench smoke (Release) =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j --target bench_server_throughput
+  ./build-release/bench/bench_server_throughput --smoke
+
+  echo "Server-sweep checks passed."
+  exit 0
+fi
 
 if [[ "${1:-}" == "--backend-sweep" ]]; then
   echo "== backend sweep under ASAN/UBSAN =="
@@ -98,7 +140,7 @@ if [[ "${1:-}" != "fast" ]]; then
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/uload_tests \
-    --gtest_filter='*Parallel*:*BoundedBatchQueue*:*Physical*:*Exec*:*Engine*:*IndexScan*'
+    --gtest_filter='*Parallel*:*BoundedBatchQueue*:*Physical*:*Exec*:*Engine*:*IndexScan*:*Server*'
 fi
 
 echo "All checks passed."

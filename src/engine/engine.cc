@@ -11,7 +11,7 @@ namespace uload {
 Engine::Engine(Document doc) : Engine(std::move(doc), Options()) {}
 
 Engine::Engine(Document doc, Options options)
-    : doc_(std::move(doc)), options_(options), exec_(options.batch_size) {
+    : doc_(std::move(doc)), options_(options) {
   // Summary first: Build annotates every node's path_id, which the columnar
   // conversion persists into its chunk index.
   summary_ = PathSummary::Build(&doc_);
@@ -21,8 +21,6 @@ Engine::Engine(Document doc, Options options)
   } else {
     store_ = &doc_;
   }
-  exec_.set_thread_budget(options_.thread_budget);
-  exec_.set_verify_plans(options_.verify);
   engine_memory_.set_limit(options_.engine_memory_limit_bytes);
 }
 
@@ -30,11 +28,8 @@ Engine::Engine(ColumnarDocument store, PathSummary summary, Options options)
     : columnar_(std::move(store)),
       store_(&columnar_),
       summary_(std::move(summary)),
-      options_(options),
-      exec_(options.batch_size) {
+      options_(options) {
   options_.backend = Options::Backend::kColumnar;
-  exec_.set_thread_budget(options_.thread_budget);
-  exec_.set_verify_plans(options_.verify);
   engine_memory_.set_limit(options_.engine_memory_limit_bytes);
 }
 
@@ -92,19 +87,35 @@ Result<QueryRewriteResult> Engine::RewriteQuery(
   return qr.Rewrite(query, options_.rewrite);
 }
 
+Engine::QueryOptions Engine::EffectiveQueryOptions() const {
+  QueryOptions q;
+  q.timeout_ms = options_.timeout_ms;
+  q.memory_limit_bytes = options_.memory_limit_bytes;
+  q.thread_budget = options_.thread_budget;
+  q.batch_size = options_.batch_size;
+  q.control = options_.control;
+  return q;
+}
+
 std::shared_ptr<QueryControl> Engine::BeginQuery(ExecContext* exec,
-                                                 MemoryTracker* query_mem) {
-  exec->set_thread_budget(options_.thread_budget);
+                                                 MemoryTracker* query_mem,
+                                                 const QueryOptions& q) {
+  exec->set_thread_budget(q.thread_budget != 0 ? q.thread_budget
+                                               : options_.thread_budget);
   exec->set_verify_plans(options_.verify);
   exec->set_memory_tracker(query_mem);
   exec->set_fault(options_.fault);
   std::shared_ptr<QueryControl> control =
-      options_.control != nullptr ? options_.control
-                                  : std::make_shared<QueryControl>();
-  if (options_.timeout_ms > 0) {
-    control->set_deadline_ns(QueryControl::NowNs() +
-                             options_.timeout_ms * 1'000'000);
-  } else if (options_.timeout_ms < 0) {
+      q.control != nullptr ? q.control : std::make_shared<QueryControl>();
+  if (q.timeout_ms > 0) {
+    // Earliest deadline wins: an admission ticket may already carry the
+    // admit-time budget on its control.
+    int64_t candidate = QueryControl::NowNs() + q.timeout_ms * 1'000'000;
+    int64_t existing = control->deadline_ns();
+    if (existing == 0 || candidate < existing) {
+      control->set_deadline_ns(candidate);
+    }
+  } else if (q.timeout_ms < 0) {
     // Testing: an already-expired deadline trips the very first check.
     control->set_deadline_ns(1);
   }
@@ -119,7 +130,19 @@ void Engine::EndQuery(const std::shared_ptr<QueryControl>& control,
   std::lock_guard<std::mutex> lock(mu_);
   inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), control),
                   inflight_.end());
-  exec_.CopyMetricsFrom(exec);
+  last_metrics_ = exec.metrics();
+}
+
+std::deque<OperatorMetrics> Engine::LastQueryMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_metrics_;
+}
+
+int64_t Engine::LastQueryTotalTuples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const OperatorMetrics& m : last_metrics_) total += m.tuples_produced;
+  return total;
 }
 
 void Engine::Cancel() {
@@ -128,14 +151,18 @@ void Engine::Cancel() {
 }
 
 Result<std::string> Engine::Run(const std::string& query) {
+  return Run(query, EffectiveQueryOptions());
+}
+
+Result<std::string> Engine::Run(const std::string& query,
+                                const QueryOptions& q) {
   ULOAD_ASSIGN_OR_RETURN(QueryRewriteResult r, RewriteQuery(query));
   QueryRewriter qr(&summary_, &catalog_);
   // Private per-query context + governor: concurrent queries on one engine
   // share nothing but the document, the catalog, and the engine tracker.
-  ExecContext exec(options_.batch_size);
-  MemoryTracker query_mem("query", options_.memory_limit_bytes,
-                          &engine_memory_);
-  std::shared_ptr<QueryControl> control = BeginQuery(&exec, &query_mem);
+  ExecContext exec(q.batch_size != 0 ? q.batch_size : options_.batch_size);
+  MemoryTracker query_mem("query", q.memory_limit_bytes, &engine_memory_);
+  std::shared_ptr<QueryControl> control = BeginQuery(&exec, &query_mem, q);
   Result<std::string> out = qr.Execute(r, store_, &exec);
   EndQuery(control, exec);
   return out;
@@ -165,6 +192,11 @@ Result<Engine::Explanation> Engine::Explain(const std::string& query) {
 }
 
 Result<Engine::Explanation> Engine::ExplainAnalyze(const std::string& query) {
+  return ExplainAnalyze(query, EffectiveQueryOptions());
+}
+
+Result<Engine::Explanation> Engine::ExplainAnalyze(const std::string& query,
+                                                   const QueryOptions& q) {
   ULOAD_ASSIGN_OR_RETURN(QueryRewriteResult r, RewriteQuery(query));
   QueryRewriter qr(&summary_, &catalog_);
   ULOAD_ASSIGN_OR_RETURN(PlanPtr plan, qr.BuildPlan(r));
@@ -174,10 +206,9 @@ Result<Engine::Explanation> Engine::ExplainAnalyze(const std::string& query) {
                            VerifyLogicalPlan(*plan, ctx));
     ULOAD_RETURN_NOT_OK(VerifyTemplate(r.translation.templ, *root_schema));
   }
-  ExecContext exec(options_.batch_size);
-  MemoryTracker query_mem("query", options_.memory_limit_bytes,
-                          &engine_memory_);
-  std::shared_ptr<QueryControl> control = BeginQuery(&exec, &query_mem);
+  ExecContext exec(q.batch_size != 0 ? q.batch_size : options_.batch_size);
+  MemoryTracker query_mem("query", q.memory_limit_bytes, &engine_memory_);
+  std::shared_ptr<QueryControl> control = BeginQuery(&exec, &query_mem, q);
   Result<PhysicalPtr> compiled = CompilePhysicalPlan(plan, ctx, &exec);
   if (!compiled.ok()) {
     EndQuery(control, exec);

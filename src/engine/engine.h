@@ -18,6 +18,7 @@
 #ifndef ULOAD_ENGINE_ENGINE_H_
 #define ULOAD_ENGINE_ENGINE_H_
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -74,6 +75,27 @@ class Engine {
     RewriteOptions rewrite;
   };
 
+  // Per-call governor overrides for one Run/ExplainAnalyze. The serving
+  // layer (src/server/) assigns these at admission time — deadline and
+  // memory budget per admitted query — without touching the engine-wide
+  // Options (SetOptions requires no queries in flight; QueryOptions is the
+  // concurrency-safe per-query path).
+  struct QueryOptions {
+    // Wall-clock budget in ms; 0 = unlimited, negative = already expired
+    // (testing). Ignored when `control` arrives with an earlier deadline.
+    int64_t timeout_ms = 0;
+    // Per-query memory budget in bytes; 0 = unlimited.
+    int64_t memory_limit_bytes = 0;
+    // Worker threads for this query; 0 = the engine option's budget.
+    size_t thread_budget = 0;
+    // Batch fill target for this query; 0 = the engine option's size.
+    size_t batch_size = 0;
+    // Externally owned cancellation handle (e.g. an admission ticket's).
+    // May arrive with a deadline preset; the effective deadline is the
+    // earlier of that and now + timeout_ms. Null = fresh handle.
+    std::shared_ptr<QueryControl> control;
+  };
+
   explicit Engine(Document doc);
   Engine(Document doc, Options options);
 
@@ -104,8 +126,12 @@ class Engine {
 
   // Rewrites `query` over the installed views and streams the combined plan
   // through the physical executor into serialized XML. Thread-safe against
-  // concurrent Run/ExplainAnalyze/Cancel on the same engine.
+  // concurrent Run/ExplainAnalyze/Explain/Cancel/Save on the same engine
+  // (full matrix in DESIGN.md §10); InstallModel/AddView/SetOptions still
+  // require no queries in flight.
   Result<std::string> Run(const std::string& query);
+  // As above with per-call governor overrides (admission-control path).
+  Result<std::string> Run(const std::string& query, const QueryOptions& q);
 
   // Cancels every in-flight Run/ExplainAnalyze: each aborts at its next
   // batch boundary with kCancelled (clean Status, workers joined, queues
@@ -123,6 +149,8 @@ class Engine {
   Result<Explanation> Explain(const std::string& query);
   // Executes, then renders the physical tree with per-operator counters.
   Result<Explanation> ExplainAnalyze(const std::string& query);
+  Result<Explanation> ExplainAnalyze(const std::string& query,
+                                     const QueryOptions& q);
 
   // The active document store — what every view and query runs against.
   const DocumentStore& store() const { return *store_; }
@@ -135,8 +163,14 @@ class Engine {
   const Document& document() const { return doc_; }
   const PathSummary& summary() const { return summary_; }
   const Catalog& catalog() const { return catalog_; }
-  // Runtime counters of the most recent completed Run/ExplainAnalyze.
-  const ExecContext& exec_context() const { return exec_; }
+  // Per-operator runtime counters of the most recent completed
+  // Run/ExplainAnalyze, as a snapshot taken under the engine lock — safe to
+  // call while queries are in flight (each query's counters live on its
+  // private ExecContext until EndQuery publishes them here; readers never
+  // share slots with a running query).
+  std::deque<OperatorMetrics> LastQueryMetrics() const;
+  // Sum of tuples_produced over the last published counters.
+  int64_t LastQueryTotalTuples() const;
   // Engine-wide memory tracker (root of the per-query hierarchy). used()
   // returns to zero when no query is in flight — aborted ones included.
   const MemoryTracker& memory() const { return engine_memory_; }
@@ -146,11 +180,15 @@ class Engine {
   Engine(ColumnarDocument store, PathSummary summary, Options options);
 
   Result<QueryRewriteResult> RewriteQuery(const std::string& query) const;
+  // Per-call effective settings: engine Options with QueryOptions overrides
+  // applied.
+  QueryOptions EffectiveQueryOptions() const;
   // Installs the per-query governor state on `exec` (control with deadline,
   // tracker, fault spec, thread budget) and registers the control as
   // in-flight. Returns the control for EndQuery.
   std::shared_ptr<QueryControl> BeginQuery(ExecContext* exec,
-                                           MemoryTracker* query_mem);
+                                           MemoryTracker* query_mem,
+                                           const QueryOptions& q);
   // Deregisters the control and publishes the query's counters as the
   // engine's "most recent" metrics.
   void EndQuery(const std::shared_ptr<QueryControl>& control,
@@ -165,9 +203,13 @@ class Engine {
   Catalog catalog_;
   Options options_;
   MemoryTracker engine_memory_{"engine"};
-  mutable std::mutex mu_;  // guards inflight_ and exec_
+  mutable std::mutex mu_;  // guards inflight_ and last_metrics_
   std::vector<std::shared_ptr<QueryControl>> inflight_;
-  ExecContext exec_;
+  // Published counters of the most recently finished query. A plain value
+  // snapshot (not a shared ExecContext): concurrent Runs each collect on a
+  // private context and copy here under mu_, so no running operator tree
+  // ever shares metric slots with a reader or another query.
+  std::deque<OperatorMetrics> last_metrics_;
 };
 
 }  // namespace uload

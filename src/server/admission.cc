@@ -1,0 +1,114 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace uload {
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->ReleaseSlot();
+  controller_ = nullptr;
+  control_.reset();
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         const MemoryTracker* engine_memory)
+    : config_(config), engine_memory_(engine_memory) {
+  config_.max_concurrent = std::max(1, config_.max_concurrent);
+  config_.max_queued = std::max(0, config_.max_queued);
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    ++stats_.shed_draining;
+    return Status::ResourceExhausted("server draining");
+  }
+  // Memory high water: shedding up front beats admitting a query that the
+  // engine tracker will abort mid-flight anyway.
+  if (engine_memory_ != nullptr && engine_memory_->limit() > 0 &&
+      config_.memory_headroom < 1.0) {
+    int64_t water = static_cast<int64_t>(
+        config_.memory_headroom * static_cast<double>(engine_memory_->limit()));
+    int64_t used = engine_memory_->used();
+    if (used >= water) {
+      ++stats_.shed_memory;
+      return Status::ResourceExhausted(
+          "engine memory high water: " + std::to_string(used) + " of " +
+          std::to_string(engine_memory_->limit()) + " bytes in use");
+    }
+  }
+  if (stats_.executing >= config_.max_concurrent) {
+    if (stats_.queued >= config_.max_queued || config_.queue_timeout_ms <= 0) {
+      ++stats_.shed_queue_full;
+      return Status::ResourceExhausted(
+          "admission queue full: " + std::to_string(stats_.executing) +
+          " executing, " + std::to_string(stats_.queued) + " queued");
+    }
+    ++stats_.queued;
+    bool got_slot = cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.queue_timeout_ms), [this] {
+          return draining_ || stats_.executing < config_.max_concurrent;
+        });
+    --stats_.queued;
+    // A WaitIdle() caller may be watching the queued count too.
+    cv_.notify_all();
+    if (draining_) {
+      ++stats_.shed_draining;
+      return Status::ResourceExhausted("server draining");
+    }
+    if (!got_slot) {
+      ++stats_.shed_queue_timeout;
+      return Status::ResourceExhausted(
+          "admission queue timeout after " +
+          std::to_string(config_.queue_timeout_ms) + " ms");
+    }
+  }
+  ++stats_.executing;
+  ++stats_.admitted;
+  Ticket t;
+  t.controller_ = this;
+  t.control_ = std::make_shared<QueryControl>();
+  if (config_.query_timeout_ms > 0) {
+    // Deadline from the admit instant: queue wait spent the client's
+    // patience, not the query's budget.
+    t.control_->set_deadline_ns(QueryControl::NowNs() +
+                                config_.query_timeout_ms * 1'000'000);
+  }
+  t.memory_limit_bytes_ = config_.query_memory_limit_bytes;
+  return t;
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.executing;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::WaitIdle(int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto idle = [this] { return stats_.executing == 0 && stats_.queued == 0; };
+  if (timeout_ms <= 0) {
+    cv_.wait(lock, idle);
+    return true;
+  }
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), idle);
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace uload

@@ -1,0 +1,136 @@
+// Admission control for the query service (DESIGN.md §10).
+//
+// Every query crossing the wire passes through AdmissionController::Admit()
+// before it reaches Engine::Run. The controller bounds the engine's
+// concurrent load three ways, each shedding with kResourceExhausted rather
+// than queueing without limit:
+//
+//   1. slots   — at most `max_concurrent` queries execute at once; up to
+//                `max_queued` more wait (FIFO by wakeup), anything beyond
+//                is shed immediately ("admission queue full").
+//   2. time    — a queued query waits at most `queue_timeout_ms` before it
+//                is shed ("admission queue timeout"); a client's patience
+//                is not an unbounded buffer.
+//   3. memory  — when the engine-level MemoryTracker is within
+//                `memory_headroom` of its cap, new queries are shed up
+//                front ("engine memory high water") instead of being
+//                admitted to fail mid-flight and waste the work.
+//
+// The governor wiring happens at admit time: a granted Ticket carries a
+// fresh QueryControl whose deadline is `query_timeout_ms` from the *admit*
+// instant (queue wait already consumed part of the client's patience, not
+// part of the query's budget) plus the per-query memory budget to install
+// on the run. The Ticket is RAII — destruction releases the slot and wakes
+// one waiter — and its release is what BeginDrain()/WaitIdle() observe, so
+// a server holds tickets until the response bytes are written and drain
+// covers response delivery, not just execution.
+//
+// Thread safety: every public member is safe from any thread.
+#ifndef ULOAD_SERVER_ADMISSION_H_
+#define ULOAD_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "exec/memory_tracker.h"
+#include "exec/query_control.h"
+
+namespace uload {
+
+struct AdmissionConfig {
+  // Executing-query slots; at least 1.
+  int max_concurrent = 4;
+  // Queries allowed to wait for a slot; 0 = shed the moment slots are full.
+  int max_queued = 16;
+  // Longest a query may wait in the queue before it is shed; 0 = no wait
+  // (equivalent to max_queued = 0 for slow servers).
+  int64_t queue_timeout_ms = 5000;
+  // Per-query wall-clock budget assigned at admit; 0 = unlimited.
+  int64_t query_timeout_ms = 0;
+  // Per-query memory budget installed on the run; 0 = unlimited.
+  int64_t query_memory_limit_bytes = 0;
+  // Shed new queries once engine_memory->used() reaches this fraction of
+  // its limit (only when the engine tracker has a limit). 1.0 disables
+  // early shedding — queries then fail individually on Charge().
+  double memory_headroom = 0.9;
+};
+
+class AdmissionController {
+ public:
+  // A granted admission. Move-only; releases its slot on destruction.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      control_ = std::move(other.control_);
+      memory_limit_bytes_ = other.memory_limit_bytes_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    // The query's governor handle: deadline preset to the admit-time
+    // budget, Cancel()able by a drain.
+    const std::shared_ptr<QueryControl>& control() const { return control_; }
+    int64_t memory_limit_bytes() const { return memory_limit_bytes_; }
+
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    AdmissionController* controller_ = nullptr;
+    std::shared_ptr<QueryControl> control_;
+    int64_t memory_limit_bytes_ = 0;
+  };
+
+  struct Stats {
+    int64_t admitted = 0;
+    int64_t shed_queue_full = 0;
+    int64_t shed_queue_timeout = 0;
+    int64_t shed_memory = 0;
+    int64_t shed_draining = 0;
+    int executing = 0;
+    int queued = 0;
+  };
+
+  // `engine_memory` may be null (no memory-based shedding); it must outlive
+  // the controller.
+  AdmissionController(AdmissionConfig config,
+                      const MemoryTracker* engine_memory);
+
+  // Blocks until a slot is granted or the query is shed. Every shed path
+  // returns kResourceExhausted with a distinguishing message.
+  Result<Ticket> Admit();
+
+  // Sheds every queued waiter and every future Admit() with
+  // "server draining". Irreversible.
+  void BeginDrain();
+
+  // Blocks until no query is executing or queued, up to `timeout_ms`
+  // (0 = indefinitely). Returns true when idle.
+  bool WaitIdle(int64_t timeout_ms);
+
+  Stats stats() const;
+
+ private:
+  void ReleaseSlot();
+
+  AdmissionConfig config_;
+  const MemoryTracker* engine_memory_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool draining_ = false;
+  Stats stats_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_SERVER_ADMISSION_H_

@@ -1,0 +1,137 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace uload {
+namespace {
+
+bool WriteAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<QueryClient> QueryClient::Connect(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Internal("connect " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  QueryClient client;
+  client.fd_ = fd;
+  ULOAD_ASSIGN_OR_RETURN(Frame hello,
+                         client.RoundTrip(FrameType::kHello, "uload-client"));
+  if (hello.type == FrameType::kError) {
+    return DecodeErrorPayload(hello.payload);
+  }
+  if (hello.type != FrameType::kHelloOk) {
+    return Status::Internal("handshake: unexpected frame type " +
+                            std::to_string(static_cast<unsigned>(hello.type)));
+  }
+  std::string banner;
+  if (!DecodeHelloOkPayload(hello.payload, &client.session_id_, &banner)) {
+    return Status::Internal("handshake: malformed hello-ok payload");
+  }
+  return client;
+}
+
+Result<Frame> QueryClient::RoundTrip(FrameType type,
+                                     std::string_view payload) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  if (!WriteAll(fd_, EncodeFrame(type, payload))) {
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  char buf[4096];
+  for (;;) {
+    std::optional<Frame> f = reader_.Next();
+    if (f.has_value()) return std::move(*f);
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Internal("connection closed by server" +
+                              std::string(reader_.mid_frame()
+                                              ? " mid-frame"
+                                              : ""));
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    ULOAD_RETURN_NOT_OK(reader_.Feed(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<std::string> QueryClient::ExpectResult(FrameType sent,
+                                              std::string_view payload) {
+  ULOAD_ASSIGN_OR_RETURN(Frame f, RoundTrip(sent, payload));
+  if (f.type == FrameType::kError) return DecodeErrorPayload(f.payload);
+  if (f.type != FrameType::kResult) {
+    return Status::Internal("unexpected response frame type " +
+                            std::to_string(static_cast<unsigned>(f.type)));
+  }
+  return std::move(f.payload);
+}
+
+Result<std::string> QueryClient::Run(const std::string& query) {
+  return ExpectResult(FrameType::kRun, query);
+}
+
+Result<std::string> QueryClient::Explain(const std::string& query) {
+  return ExpectResult(FrameType::kExplain, query);
+}
+
+Status QueryClient::Set(const std::string& key, int64_t value) {
+  Result<std::string> r =
+      ExpectResult(FrameType::kSet, key + "=" + std::to_string(value));
+  return r.ok() ? Status::Ok() : r.status();
+}
+
+Status QueryClient::Goodbye() {
+  ULOAD_ASSIGN_OR_RETURN(Frame f, RoundTrip(FrameType::kGoodbye, ""));
+  if (f.type == FrameType::kError) return DecodeErrorPayload(f.payload);
+  if (f.type != FrameType::kGoodbyeOk) {
+    return Status::Internal("unexpected goodbye response");
+  }
+  Close();
+  return Status::Ok();
+}
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace uload

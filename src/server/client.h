@@ -1,0 +1,73 @@
+// QueryClient: blocking client for the uload wire protocol (server/wire.h).
+//
+// One client is one connection == one session. Connect() performs the hello
+// handshake and returns a ready client; Run/Explain/Set block until the
+// matching response frame arrives. A server-side error frame comes back as
+// the reconstructed Status (code mapped through the stable wire table), so
+// callers see exactly what an in-process Engine::Run would have returned —
+// the differential tests rely on that. Not thread-safe: one request in
+// flight per client; drive N connections from N threads for concurrency
+// (bench/bench_server_throughput.cc).
+#ifndef ULOAD_SERVER_CLIENT_H_
+#define ULOAD_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace uload {
+
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient() { Close(); }
+
+  QueryClient(QueryClient&& other) noexcept { *this = std::move(other); }
+  QueryClient& operator=(QueryClient&& other) noexcept {
+    Close();
+    fd_ = other.fd_;
+    session_id_ = other.session_id_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+    return *this;
+  }
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  // Connects and completes the hello handshake.
+  static Result<QueryClient> Connect(const std::string& host, int port);
+
+  // Runs one query; the payload of the kResult frame (serialized XML).
+  Result<std::string> Run(const std::string& query);
+
+  // Explains one query; "<logical>\n---\n<physical>".
+  Result<std::string> Explain(const std::string& query);
+
+  // Sets a session option ("thread_budget", "timeout_ms",
+  // "memory_limit_bytes", "batch_size").
+  Status Set(const std::string& key, int64_t value);
+
+  // Polite goodbye; the server acknowledges and closes.
+  Status Goodbye();
+
+  uint64_t session_id() const { return session_id_; }
+  bool connected() const { return fd_ >= 0; }
+
+  void Close();
+
+ private:
+  // Sends one frame and blocks for the next response frame.
+  Result<Frame> RoundTrip(FrameType type, std::string_view payload);
+  // Maps a kResult/kError response to a Result<string>.
+  Result<std::string> ExpectResult(FrameType sent, std::string_view payload);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  FrameReader reader_;
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_SERVER_CLIENT_H_

@@ -1,0 +1,70 @@
+// uload_client: one-shot command-line client for the query service.
+//
+//   uload_client [--host H] [--port N] [--explain] [--threads N] "QUERY"
+//
+// Connects, optionally sets the session thread budget, sends the query,
+// prints the answer (or the error Status) and exits 0/1.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/client.h"
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7877;
+  bool explain = false;
+  long threads = 0;
+  std::string query;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--port") {
+      port = std::atoi(next("--port"));
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--threads") {
+      threads = std::atol(next("--threads"));
+    } else {
+      query = arg;
+    }
+  }
+  if (query.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--host H] [--port N] [--explain] [--threads N] "
+                 "\"QUERY\"\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto client = uload::QueryClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  if (threads > 0) {
+    auto st = client->Set("thread_budget", threads);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  auto answer = explain ? client->Explain(query) : client->Run(query);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", answer->c_str());
+  client->Goodbye();
+  return 0;
+}

@@ -1,0 +1,321 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace uload {
+namespace {
+
+// Writes the whole buffer; false on any error (peer gone, shutdown).
+// MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+bool WriteAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(Engine* engine, ServerConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      admission_(config_.admission, &engine->memory()) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal(std::string("bind ") + config_.host + ":" +
+                                 std::to_string(config_.port) + ": " +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status st = Status::Internal(std::string("listen: ") +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void QueryServer::AcceptLoop() {
+  // poll with a short timeout instead of a blocking accept: closing a
+  // listening socket does not reliably wake a blocked accept(), polling
+  // makes Stop() deterministic.
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    int r = ::poll(&p, 1, /*timeout_ms=*/50);
+    if (r <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    ++sessions_opened_;
+    threads_.emplace_back([this, id, fd] { ServeConnection(id, fd); });
+  }
+}
+
+void QueryServer::ServeConnection(uint64_t session_id, int fd) {
+  Session session;
+  session.id = session_id;
+  session.fd = fd;
+  FrameReader reader(config_.max_frame_bytes);
+  char buf[4096];
+  bool keep_going = true;
+  while (keep_going) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // connection torn down (drain shutdown lands here too)
+    }
+    Status fed = reader.Feed(buf, static_cast<size_t>(n));
+    if (!fed.ok()) {
+      // Protocol violation: answer with a ParseError frame (best effort —
+      // the stream has lost alignment) and tear the connection down.
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendError(fd, Status::ParseError("malformed frame: " + fed.message()));
+      break;
+    }
+    while (keep_going) {
+      std::optional<Frame> frame = reader.Next();
+      if (!frame.has_value()) break;
+      keep_going = HandleFrame(&session, *frame);
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+}
+
+bool QueryServer::HandleFrame(Session* session, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      return SendFrame(
+          session->fd, FrameType::kHelloOk,
+          EncodeHelloOkPayload(session->id, "uload query service"));
+    case FrameType::kRun:
+    case FrameType::kExplain:
+      RunQuery(session, frame);
+      return true;
+    case FrameType::kSet: {
+      Status st = HandleSet(session, frame.payload);
+      if (st.ok()) return SendFrame(session->fd, FrameType::kResult, "");
+      queries_error_.fetch_add(1, std::memory_order_relaxed);
+      return SendError(session->fd, st);
+    }
+    case FrameType::kGoodbye:
+      SendFrame(session->fd, FrameType::kGoodbyeOk, "");
+      return false;
+    default:
+      // Unknown or response-typed frame from a client: protocol violation.
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendError(session->fd,
+                Status::ParseError(
+                    "unexpected frame type " +
+                    std::to_string(static_cast<unsigned>(frame.type))));
+      return false;
+  }
+}
+
+void QueryServer::RunQuery(Session* session, const Frame& frame) {
+  Result<AdmissionController::Ticket> admitted = admission_.Admit();
+  if (!admitted.ok()) {
+    queries_error_.fetch_add(1, std::memory_order_relaxed);
+    SendError(session->fd, admitted.status());
+    return;
+  }
+  AdmissionController::Ticket ticket = std::move(*admitted);
+  if (config_.on_query_start) config_.on_query_start(session->id);
+
+  // Admit-time governor wiring: the ticket's control (deadline already set
+  // from the admission config) plus its per-query memory budget, tightened
+  // by any session-scoped overrides.
+  Engine::QueryOptions q;
+  q.control = ticket.control();
+  q.timeout_ms = session->timeout_ms;  // BeginQuery keeps the earlier deadline
+  q.memory_limit_bytes =
+      session->memory_limit_bytes > 0
+          ? (ticket.memory_limit_bytes() > 0
+                 ? std::min(session->memory_limit_bytes,
+                            ticket.memory_limit_bytes())
+                 : session->memory_limit_bytes)
+          : ticket.memory_limit_bytes();
+  q.thread_budget = session->thread_budget;
+  q.batch_size = session->batch_size;
+
+  ++session->queries;
+  std::string answer;
+  Status st = Status::Ok();
+  if (frame.type == FrameType::kRun) {
+    Result<std::string> out = engine_->Run(frame.payload, q);
+    if (out.ok()) {
+      answer = std::move(*out);
+    } else {
+      st = out.status();
+    }
+  } else {
+    Result<Engine::Explanation> out = engine_->Explain(frame.payload);
+    if (out.ok()) {
+      answer = out->logical + "\n---\n" + out->physical;
+    } else {
+      st = out.status();
+    }
+  }
+  // The response write happens while the ticket is still held: drain's
+  // "wait for executing queries" then covers response delivery too.
+  if (st.ok()) {
+    queries_ok_.fetch_add(1, std::memory_order_relaxed);
+    SendFrame(session->fd, FrameType::kResult, answer);
+  } else {
+    queries_error_.fetch_add(1, std::memory_order_relaxed);
+    SendError(session->fd, st);
+  }
+}
+
+Status QueryServer::HandleSet(Session* session, const std::string& payload) {
+  size_t eq = payload.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("set expects key=value, got: " + payload);
+  }
+  std::string key = payload.substr(0, eq);
+  std::string value = payload.substr(eq + 1);
+  int64_t n = 0;
+  auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(),
+                                   n);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    return Status::InvalidArgument("set " + key + ": not a number: " + value);
+  }
+  if (key == "thread_budget") {
+    if (n < 0) return Status::InvalidArgument("thread_budget must be >= 0");
+    session->thread_budget = static_cast<size_t>(n);
+  } else if (key == "timeout_ms") {
+    session->timeout_ms = n;
+  } else if (key == "memory_limit_bytes") {
+    if (n < 0) {
+      return Status::InvalidArgument("memory_limit_bytes must be >= 0");
+    }
+    session->memory_limit_bytes = n;
+  } else if (key == "batch_size") {
+    if (n < 0) return Status::InvalidArgument("batch_size must be >= 0");
+    session->batch_size = static_cast<size_t>(n);
+  } else {
+    return Status::InvalidArgument("unknown session option: " + key);
+  }
+  return Status::Ok();
+}
+
+bool QueryServer::SendFrame(int fd, FrameType type, std::string_view payload) {
+  return WriteAll(fd, EncodeFrame(type, payload));
+}
+
+bool QueryServer::SendError(int fd, const Status& status) {
+  return SendFrame(fd, FrameType::kError, EncodeErrorPayload(status));
+}
+
+void QueryServer::Stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (!was_running) return;
+  draining_.store(true, std::memory_order_release);
+
+  // 1+2. Close the listener and shed the queue. Queries already executing
+  // keep their slots.
+  admission_.BeginDrain();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 3. Grace period: executing queries finish and write their responses
+  // (tickets are held through the write).
+  bool idle = admission_.WaitIdle(config_.drain_timeout_ms);
+
+  // 4. Stragglers are cancelled; they answer kCancelled and release.
+  if (!idle) {
+    engine_->Cancel();
+    admission_.WaitIdle(config_.drain_timeout_ms);
+  }
+
+  // 5. Tear down every connection (wakes sessions blocked in recv) and
+  // join all threads.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (threads_.empty()) break;
+      t = std::move(threads_.front());
+      threads_.pop_front();
+    }
+    if (t.joinable()) t.join();
+  }
+}
+
+QueryServer::Stats QueryServer::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.sessions_opened = sessions_opened_;
+  }
+  s.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  s.queries_error = queries_error_.load(std::memory_order_relaxed);
+  s.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  s.admission = admission_.stats();
+  return s;
+}
+
+}  // namespace uload

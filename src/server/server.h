@@ -1,0 +1,134 @@
+// QueryServer: the framed-TCP front-end over one Engine (DESIGN.md §10).
+//
+// A minimal thread-per-connection server exposing Engine::Run / Explain
+// over the wire protocol in server/wire.h. Every connection is one
+// *session*: a server-assigned id, a small set of session-scoped execution
+// options (thread_budget, timeout_ms, memory_limit_bytes, batch_size — set
+// via kSet frames), and per-session counters. Queries pass through the
+// AdmissionController before they reach the engine; the granted ticket's
+// QueryControl (deadline assigned at admit) and memory budget are installed
+// on the run via Engine::QueryOptions, and the ticket is held until the
+// response frame has been written — so drain covers response delivery.
+//
+// Shutdown contract (graceful drain):
+//   1. the listener closes — no new connections;
+//   2. the admission controller drains — queued queries shed with
+//      kResourceExhausted("server draining"), new ones likewise;
+//   3. Stop() waits up to drain_timeout_ms for executing queries to finish
+//      and flush their responses;
+//   4. stragglers are cancelled through Engine::Cancel() (they answer with
+//      a clean kCancelled error frame);
+//   5. every connection is shut down and all threads joined.
+// Stop() is idempotent; the destructor calls it.
+#ifndef ULOAD_SERVER_SERVER_H_
+#define ULOAD_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "server/admission.h"
+#include "server/wire.h"
+
+namespace uload {
+
+struct ServerConfig {
+  // 0 = pick an ephemeral port; see QueryServer::port() after Start().
+  int port = 0;
+  // Listen address; the server is loopback-only by default.
+  std::string host = "127.0.0.1";
+  size_t max_frame_bytes = FrameReader::kDefaultMaxFrameBytes;
+  // How long Stop() waits for in-flight queries to finish (and flush their
+  // responses) before cancelling them through the engine.
+  int64_t drain_timeout_ms = 10'000;
+  AdmissionConfig admission;
+  // Testing hook: invoked on the session thread right after admission is
+  // granted (slot held) and before the engine runs — lets a test hold a
+  // slot open deterministically. Null = disabled.
+  std::function<void(uint64_t session_id)> on_query_start;
+};
+
+class QueryServer {
+ public:
+  struct Stats {
+    int64_t sessions_opened = 0;
+    int64_t queries_ok = 0;
+    int64_t queries_error = 0;  // engine/admission errors answered on the wire
+    int64_t frames_rejected = 0;  // protocol violations (connection torn down)
+    AdmissionController::Stats admission;
+  };
+
+  // `engine` must outlive the server. InstallModel/SetOptions on the engine
+  // are not legal while the server is running (queries may be in flight).
+  QueryServer(Engine* engine, ServerConfig config);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Binds, listens, and starts the accept loop. Fails with kInternal when
+  // the address cannot be bound.
+  Status Start();
+
+  // The bound port (after a successful Start()).
+  int port() const { return port_; }
+
+  // Graceful drain per the shutdown contract above. Idempotent.
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    int fd = -1;
+    // Session-scoped execution options (0 = engine default), set via kSet.
+    int64_t timeout_ms = 0;
+    int64_t memory_limit_bytes = 0;
+    size_t thread_budget = 0;
+    size_t batch_size = 0;
+    int64_t queries = 0;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(uint64_t session_id, int fd);
+  // Handles one request frame; returns false when the connection must end
+  // (goodbye or protocol violation).
+  bool HandleFrame(Session* session, const Frame& frame);
+  // One admitted query end to end: admission, engine, response. The
+  // admission ticket is released after the response write.
+  void RunQuery(Session* session, const Frame& frame);
+  Status HandleSet(Session* session, const std::string& payload);
+  bool SendFrame(int fd, FrameType type, std::string_view payload);
+  bool SendError(int fd, const Status& status);
+
+  Engine* engine_;
+  ServerConfig config_;
+  AdmissionController admission_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;  // guards conn_fds_, threads_, stats_
+  std::vector<int> conn_fds_;
+  std::list<std::thread> threads_;
+  std::atomic<uint64_t> next_session_id_{1};
+  int64_t sessions_opened_ = 0;
+  std::atomic<int64_t> queries_ok_{0};
+  std::atomic<int64_t> queries_error_{0};
+  std::atomic<int64_t> frames_rejected_{0};
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_SERVER_SERVER_H_

@@ -1,0 +1,195 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace uload {
+
+WireCode StatusToWireCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return WireCode::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireCode::kInvalidArgument;
+    case StatusCode::kParseError:
+      return WireCode::kParseError;
+    case StatusCode::kNotFound:
+      return WireCode::kNotFound;
+    case StatusCode::kNotImplemented:
+      return WireCode::kNotImplemented;
+    case StatusCode::kTypeError:
+      return WireCode::kTypeError;
+    case StatusCode::kInternal:
+      return WireCode::kInternal;
+    case StatusCode::kCancelled:
+      return WireCode::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    case StatusCode::kResourceExhausted:
+      return WireCode::kResourceExhausted;
+  }
+  return WireCode::kInternal;
+}
+
+StatusCode WireCodeToStatusCode(uint32_t code) {
+  switch (static_cast<WireCode>(code)) {
+    case WireCode::kOk:
+      return StatusCode::kOk;
+    case WireCode::kInvalidArgument:
+      return StatusCode::kInvalidArgument;
+    case WireCode::kParseError:
+      return StatusCode::kParseError;
+    case WireCode::kNotFound:
+      return StatusCode::kNotFound;
+    case WireCode::kNotImplemented:
+      return StatusCode::kNotImplemented;
+    case WireCode::kTypeError:
+      return StatusCode::kTypeError;
+    case WireCode::kInternal:
+      return StatusCode::kInternal;
+    case WireCode::kCancelled:
+      return StatusCode::kCancelled;
+    case WireCode::kDeadlineExceeded:
+      return StatusCode::kDeadlineExceeded;
+    case WireCode::kResourceExhausted:
+      return StatusCode::kResourceExhausted;
+  }
+  return StatusCode::kInternal;
+}
+
+Status WireError(uint32_t code, std::string message) {
+  switch (WireCodeToStatusCode(code)) {
+    case StatusCode::kOk:
+      // An error frame claiming OK is itself a protocol defect; surface it.
+      return Status::Internal("error frame carried OK wire code: " +
+                              std::move(message));
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kParseError:
+      return Status::ParseError(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(std::move(message));
+    case StatusCode::kTypeError:
+      return Status::TypeError(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(bytes, sizeof(bytes));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+bool ReadU32(std::string_view buf, size_t offset, uint32_t* out) {
+  if (offset + 4 > buf.size()) return false;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf.data()) + offset;
+  *out = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+  return true;
+}
+
+bool ReadU64(std::string_view buf, size_t offset, uint64_t* out) {
+  uint32_t lo = 0, hi = 0;
+  if (!ReadU32(buf, offset, &lo) || !ReadU32(buf, offset + 4, &hi)) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(4 + 1 + payload.size());
+  AppendU32(&out, static_cast<uint32_t>(payload.size() + 1));
+  out.push_back(static_cast<char>(type));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(StatusToWireCode(status.code())));
+  out.append(status.message());
+  return out;
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  uint32_t code = 0;
+  if (!ReadU32(payload, 0, &code)) {
+    return Status::Internal("malformed error frame (" +
+                            std::to_string(payload.size()) +
+                            " bytes, need >= 4)");
+  }
+  return WireError(code, std::string(payload.substr(4)));
+}
+
+std::string EncodeHelloOkPayload(uint64_t session_id,
+                                 std::string_view banner) {
+  std::string out;
+  AppendU64(&out, session_id);
+  out.append(banner.data(), banner.size());
+  return out;
+}
+
+bool DecodeHelloOkPayload(std::string_view payload, uint64_t* session_id,
+                          std::string* banner) {
+  if (!ReadU64(payload, 0, session_id)) return false;
+  banner->assign(payload.substr(8));
+  return true;
+}
+
+Status FrameReader::Feed(const char* data, size_t n) {
+  if (!error_.ok()) return error_;
+  buffer_.append(data, n);
+  for (;;) {
+    uint32_t declared = 0;
+    if (!ReadU32(buffer_, 0, &declared)) return Status::Ok();  // need prefix
+    // Validate the declaration before buffering anything toward it: the
+    // frame body must hold at least the type byte and fit under the cap.
+    if (declared == 0) {
+      error_ = Status::InvalidArgument("frame declares zero-length body");
+      return error_;
+    }
+    if (static_cast<size_t>(declared) > max_frame_bytes_) {
+      error_ = Status::InvalidArgument(
+          "frame declares " + std::to_string(declared) +
+          " bytes, cap is " + std::to_string(max_frame_bytes_));
+      return error_;
+    }
+    if (buffer_.size() < 4u + declared) return Status::Ok();  // body pending
+    Frame f;
+    f.type = static_cast<FrameType>(
+        static_cast<unsigned char>(buffer_[4]));
+    f.payload = buffer_.substr(5, declared - 1);
+    buffer_.erase(0, 4u + declared);
+    ready_.push_back(std::move(f));
+  }
+}
+
+std::optional<Frame> FrameReader::Next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+}  // namespace uload

@@ -1,0 +1,131 @@
+// Wire protocol of the query service front-end (DESIGN.md §10).
+//
+// Transport: length-prefixed frames over a byte stream (TCP). One frame is
+//
+//   [u32 len, little-endian][u8 type][payload: len-1 bytes]
+//
+// `len` counts everything after the length field (type byte + payload), so
+// a frame body is never empty: len == 0 is a protocol violation, as is
+// len > the receiver's frame-size cap. The codec below is pure — it never
+// touches a socket — so the robustness corpus (tests/server_frame_test.cc)
+// can drive it byte by byte: FrameReader is an incremental parser that
+// accepts arbitrary chunkings of the stream and turns any malformed prefix
+// into a clean Status instead of a crash or an unbounded allocation.
+//
+// Error mapping: a query's Status travels as an explicit numeric wire code
+// (WireCode) + message. The numbering is part of the protocol and must stay
+// stable even if StatusCode is ever reordered, hence the explicit table in
+// StatusToWireCode/WireCodeToStatus. Unknown codes degrade to kInternal on
+// the receiving side — never to a crash.
+#ifndef ULOAD_SERVER_WIRE_H_
+#define ULOAD_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace uload {
+
+// Frame types. Requests are < 0x40, responses >= 0x40; values are wire
+// contract, append-only.
+enum class FrameType : uint8_t {
+  // Requests (client → server).
+  kHello = 0x01,    // payload: client-chosen name (may be empty)
+  kRun = 0x02,      // payload: XQuery text → kResult(serialized XML)
+  kExplain = 0x03,  // payload: XQuery text → kResult(logical + physical)
+  kSet = 0x04,      // payload: "key=value" session option → empty kResult
+  kGoodbye = 0x05,  // payload empty → kGoodbyeOk, then the server closes
+
+  // Responses (server → client).
+  kHelloOk = 0x41,    // payload: [u64 session_id][server banner]
+  kResult = 0x42,     // payload: the answer bytes
+  kError = 0x43,      // payload: [u32 wire code][message]
+  kGoodbyeOk = 0x44,  // payload empty
+};
+
+// Stable numeric error codes on the wire. Mirrors StatusCode today, but by
+// explicit table — the enum values here can never change.
+enum class WireCode : uint32_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kNotFound = 3,
+  kNotImplemented = 4,
+  kTypeError = 5,
+  kInternal = 6,
+  kCancelled = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
+};
+
+WireCode StatusToWireCode(StatusCode code);
+StatusCode WireCodeToStatusCode(uint32_t code);  // unknown → kInternal
+// Rebuilds a Status from a decoded (code, message) pair.
+Status WireError(uint32_t code, std::string message);
+
+// Little-endian scalar helpers shared by the payload encodings.
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+// Read at `offset`; false when the buffer is too short.
+bool ReadU32(std::string_view buf, size_t offset, uint32_t* out);
+bool ReadU64(std::string_view buf, size_t offset, uint64_t* out);
+
+struct Frame {
+  FrameType type;
+  std::string payload;
+};
+
+// One encoded frame, ready to write to the stream.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// Payload encodings that have structure beyond raw text.
+std::string EncodeErrorPayload(const Status& status);
+// Decodes a kError payload. Tolerates any byte salad: too-short payloads
+// come back as kInternal with a diagnostic message.
+Status DecodeErrorPayload(std::string_view payload);
+std::string EncodeHelloOkPayload(uint64_t session_id,
+                                 std::string_view banner);
+bool DecodeHelloOkPayload(std::string_view payload, uint64_t* session_id,
+                          std::string* banner);
+
+// Incremental frame parser. Feed() appends raw stream bytes in arbitrary
+// chunks; completed frames queue up for Next(). The declared length of a
+// frame is validated the moment the 4-byte prefix is complete — a zero or
+// oversized declaration fails fast with kInvalidArgument *before* any
+// payload is buffered, so a hostile peer cannot make the reader allocate
+// its declared size. After an error the reader is poisoned: every further
+// Feed() returns the same error (the stream has lost frame alignment and
+// must be torn down).
+class FrameReader {
+ public:
+  static constexpr size_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
+
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  Status Feed(const char* data, size_t n);
+  Status Feed(std::string_view data) { return Feed(data.data(), data.size()); }
+
+  // Next completed frame, FIFO; nullopt when none is ready.
+  std::optional<Frame> Next();
+
+  // True when a frame prefix has arrived but its body has not completed —
+  // i.e. a peer that closes the connection now truncated a frame.
+  bool mid_frame() const { return !buffer_.empty(); }
+
+  bool poisoned() const { return !error_.ok(); }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;  // bytes of the (single) incomplete frame
+  std::deque<Frame> ready_;
+  Status error_ = Status::Ok();
+};
+
+}  // namespace uload
+
+#endif  // ULOAD_SERVER_WIRE_H_

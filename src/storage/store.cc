@@ -100,7 +100,7 @@ Result<MaterializedView> MaterializedView::Materialize(
   }
 
   ULOAD_ASSIGN_OR_RETURN(v.data_, EvaluateXam(v.definition_, doc));
-  v.materialized_ = true;
+  v.materialized_.v.store(true, std::memory_order_release);
 
   // Build the index over required *top-level* attributes.
   const Schema& schema = v.data_.schema();
@@ -139,7 +139,7 @@ std::vector<NodeIndex> MaterializedView::VirtualRows() const {
 
 void MaterializedView::MaterializeNow() const {
   std::lock_guard<std::mutex> lock(*data_mu_);
-  if (materialized_) return;
+  if (materialized_.v.load(std::memory_order_relaxed)) return;
   // Build the extent straight from the row set: tuples are exactly what
   // EvaluateXam produces for a qualifying XAM (ID first, then Tag/Val),
   // already deduplicated (IDs are unique) and in document order.
@@ -157,11 +157,11 @@ void MaterializedView::MaterializeNow() const {
     out.Add(std::move(t));
   }
   data_ = std::move(out);
-  materialized_ = true;
+  materialized_.v.store(true, std::memory_order_release);
 }
 
 const NestedRelation& MaterializedView::data() const {
-  if (!materialized_) MaterializeNow();
+  if (!materialized_.v.load(std::memory_order_acquire)) MaterializeNow();
   return data_;
 }
 

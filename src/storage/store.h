@@ -13,6 +13,7 @@
 #ifndef ULOAD_STORAGE_STORE_H_
 #define ULOAD_STORAGE_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -108,10 +109,26 @@ class MaterializedView {
   SchemaPtr schema_;
   const DocumentStore* doc_ = nullptr;
 
+  // Materialization flag, readable without the mutex (double-checked lock
+  // in data(): acquire-load outside, release-store inside data_mu_ once
+  // data_ is complete). std::atomic is not movable and views move during
+  // single-threaded construction, so wrap it copyable.
+  struct AtomicFlag {
+    std::atomic<bool> v{false};
+    AtomicFlag() = default;
+    AtomicFlag(const AtomicFlag& o)
+        : v(o.v.load(std::memory_order_acquire)) {}
+    AtomicFlag& operator=(const AtomicFlag& o) {
+      v.store(o.v.load(std::memory_order_acquire),
+              std::memory_order_release);
+      return *this;
+    }
+  };
+
   // Materialized state; lazy for virtual extents.
   mutable std::unique_ptr<std::mutex> data_mu_ =
       std::make_unique<std::mutex>();
-  mutable bool materialized_ = false;
+  mutable AtomicFlag materialized_;
   mutable NestedRelation data_;
   // Index: concatenated key over required top-level attrs -> tuple indices.
   std::vector<int> index_attrs_;

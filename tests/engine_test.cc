@@ -214,8 +214,8 @@ TEST_F(EngineTest, ExplainAnalyzeReportsPerOperatorMetrics) {
   // The analyzed plan carries runtime counters for every operator.
   EXPECT_NE(ex->physical.find("tuples="), std::string::npos) << ex->physical;
   EXPECT_NE(ex->physical.find("batches="), std::string::npos) << ex->physical;
-  EXPECT_FALSE(engine_->exec_context().metrics().empty());
-  EXPECT_GT(engine_->exec_context().total_tuples(), 0);
+  EXPECT_FALSE(engine_->LastQueryMetrics().empty());
+  EXPECT_GT(engine_->LastQueryTotalTuples(), 0);
   // The logical plan is the rewriter's combined plan.
   EXPECT_NE(ex->logical.find("Retype"), std::string::npos) << ex->logical;
 }
@@ -236,9 +236,9 @@ TEST_F(EngineTest, MetricsSlotsDoNotGrowAcrossQueries) {
   const std::string q =
       "for $x in doc(\"bib\")//book return <t>{$x/title/text()}</t>";
   ASSERT_TRUE(engine_->Run(q).ok());
-  size_t slots = engine_->exec_context().metrics().size();
+  size_t slots = engine_->LastQueryMetrics().size();
   for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine_->Run(q).ok());
-  EXPECT_EQ(engine_->exec_context().metrics().size(), slots);
+  EXPECT_EQ(engine_->LastQueryMetrics().size(), slots);
 }
 
 TEST_F(EngineTest, ConstantQueryRunsThroughUnitPlan) {

@@ -133,7 +133,7 @@ TEST(ExecFaultSweep, DeterministicInjectionAcrossAllOperators) {
     // Registration ordinals address the fault points; the published metrics
     // of the baseline run enumerate them (worker pipelines use the same
     // ordinal space per worker context, a subset of [0, n)).
-    int n = static_cast<int>(engine->exec_context().metrics().size());
+    int n = static_cast<int>(engine->LastQueryMetrics().size());
     ASSERT_GT(n, 0);
     for (int op = 0; op < n; ++op) {
       for (FaultSpec::Site site :
